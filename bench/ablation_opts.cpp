@@ -1,0 +1,112 @@
+// Ablation bench for the design choices DESIGN.md calls out (§2.2 of the
+// paper: SARIS composes with unrolling, reassociation, and hardware loops):
+//   - FREP on/off,
+//   - unroll factor sweep,
+//   - reassociation (accumulator chains) sweep,
+//   - full coefficient streaming vs residency (register-bound codes),
+//   - overlapped double-buffer DMA on/off (TCDM interference).
+#include <cstdio>
+
+#include "report/csv.hpp"
+#include "report/table.hpp"
+#include "runtime/kernel_runner.hpp"
+#include "stencil/codes.hpp"
+
+namespace {
+
+saris::RunMetrics run_cfg(const saris::StencilCode& sc,
+                          const saris::RunConfig& cfg) {
+  return saris::run_kernel(sc, cfg);
+}
+
+}  // namespace
+
+int main() {
+  using namespace saris;
+  CsvWriter csv("ablation_opts.csv",
+                {"experiment", "code", "config", "cycles", "fpu_util"});
+  auto report = [&](const char* exp, const StencilCode& sc,
+                    const std::string& label, const RunMetrics& m) {
+    std::printf("  %-12s %-32s cycles=%8llu  util=%5.1f%%\n", sc.name.c_str(),
+                label.c_str(), static_cast<unsigned long long>(m.cycles),
+                m.fpu_util() * 100);
+    csv.add_row({exp, sc.name, label, std::to_string(m.cycles),
+                 TextTable::fmt(m.fpu_util(), 4)});
+  };
+
+  std::printf("== Ablation: FREP hardware loop (saris) ==\n");
+  for (const char* name : {"jacobi_2d", "box2d1r", "star2d3r"}) {
+    const StencilCode& sc = code_by_name(name);
+    for (bool frep : {true, false}) {
+      RunConfig cfg;
+      cfg.variant = KernelVariant::kSaris;
+      cfg.cg.use_frep = frep;
+      report("frep", sc, frep ? "frep=on (default)" : "frep=off",
+             run_cfg(sc, cfg));
+    }
+  }
+
+  std::printf("== Ablation: unroll factor (saris) ==\n");
+  for (const char* name : {"jacobi_2d", "j2d5pt"}) {
+    const StencilCode& sc = code_by_name(name);
+    for (u32 u : {1u, 2u, 3u}) {
+      RunConfig cfg;
+      cfg.variant = KernelVariant::kSaris;
+      cfg.cg.unroll = u;
+      report("unroll", sc, "unroll=" + std::to_string(u), run_cfg(sc, cfg));
+    }
+  }
+
+  std::printf("== Ablation: reassociation chains (saris) ==\n");
+  for (const char* name : {"star2d3r", "box2d1r"}) {
+    const StencilCode& sc = code_by_name(name);
+    for (u32 k : {1u, 2u, 3u}) {
+      RunConfig cfg;
+      cfg.variant = KernelVariant::kSaris;
+      cfg.cg.chains = k;
+      report("chains", sc, "chains=" + std::to_string(k), run_cfg(sc, cfg));
+    }
+  }
+
+  std::printf("== Ablation: full coefficient streaming (saris, "
+              "register-bound codes) ==\n");
+  for (const char* name : {"box3d1r", "j3d27pt"}) {
+    const StencilCode& sc = code_by_name(name);
+    {
+      RunConfig cfg;
+      cfg.variant = KernelVariant::kSaris;
+      report("coeffs", sc, "auto (resident + SR2 spill)", run_cfg(sc, cfg));
+    }
+    {
+      RunConfig cfg;
+      cfg.variant = KernelVariant::kSaris;
+      cfg.cg.stream_coeffs = 1;
+      report("coeffs", sc, "stream all via SR1", run_cfg(sc, cfg));
+    }
+  }
+
+  std::printf("== Ablation: overlapped double-buffer DMA ==\n");
+  for (const char* name : {"jacobi_2d", "star3d2r"}) {
+    const StencilCode& sc = code_by_name(name);
+    for (bool overlap : {true, false}) {
+      RunConfig cfg;
+      cfg.variant = KernelVariant::kSaris;
+      cfg.overlap_dma = overlap;
+      report("dma", sc, overlap ? "dma overlap on" : "dma overlap off",
+             run_cfg(sc, cfg));
+    }
+  }
+
+  std::printf("== Ablation: baseline unroll (register pressure) ==\n");
+  for (const char* name : {"box3d1r", "j3d27pt"}) {
+    const StencilCode& sc = code_by_name(name);
+    for (u32 u : {1u, 2u, 4u}) {
+      RunConfig cfg;
+      cfg.variant = KernelVariant::kBase;
+      cfg.cg.unroll = u;
+      report("base_unroll", sc, "base unroll=" + std::to_string(u),
+             run_cfg(sc, cfg));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Developer diagnostic (not a paper figure): per-cause stall breakdown.
+#include <cstdio>
+#include <cstring>
+
+#include "runtime/kernel_runner.hpp"
+#include "runtime/trace.hpp"
+#include "stencil/codes.hpp"
+
+int main(int argc, char** argv) {
+  using namespace saris;
+  const char* name = argc > 1 ? argv[1] : "box2d1r";
+  KernelVariant var = (argc > 2 && std::strcmp(argv[2], "base") == 0)
+                          ? KernelVariant::kBase
+                          : KernelVariant::kSaris;
+  RunConfig cfg;
+  cfg.variant = var;
+  cfg.record_timeline = true;
+  const StencilCode& sc = code_by_name(name);
+  RunMetrics m = run_kernel(sc, cfg);
+  std::printf("%s/%s: cycles=%llu util=%.3f ipc=%.3f\n", sc.name.c_str(),
+              variant_name(var), (unsigned long long)m.cycles, m.fpu_util(),
+              m.ipc());
+  const CorePerf& p = m.per_core[0];
+  std::printf("core0: int=%llu fp=%llu useful=%llu loads=%llu stores=%llu\n",
+              (unsigned long long)p.int_instrs, (unsigned long long)p.fp_instrs,
+              (unsigned long long)p.fpu_useful_ops,
+              (unsigned long long)p.fp_loads, (unsigned long long)p.fp_stores);
+  std::printf(
+      "int stalls: icache=%llu fpuq=%llu seq=%llu scfg=%llu branch=%llu "
+      "barrier=%llu ilsu=%llu drain=%llu\n",
+      (unsigned long long)p.stall_icache,
+      (unsigned long long)p.stall_fpu_queue_full,
+      (unsigned long long)p.stall_seq_busy,
+      (unsigned long long)p.stall_scfg_busy,
+      (unsigned long long)p.stall_branch,
+      (unsigned long long)p.stall_barrier,
+      (unsigned long long)p.stall_int_lsu,
+      (unsigned long long)p.stall_halt_drain);
+  std::printf(
+      "fpu stalls: operand=%llu sr_empty=%llu sr_full=%llu mem=%llu "
+      "idle=%llu\n",
+      (unsigned long long)p.fpu_stall_operand,
+      (unsigned long long)p.fpu_stall_sr_empty,
+      (unsigned long long)p.fpu_stall_sr_full,
+      (unsigned long long)p.fpu_stall_mem,
+      (unsigned long long)p.fpu_idle_empty);
+  std::printf("tcdm: accesses=%llu conflicts=%llu  ssr elems=%llu idx=%llu\n",
+              (unsigned long long)m.tcdm_accesses,
+              (unsigned long long)m.tcdm_conflicts,
+              (unsigned long long)m.ssr_elems,
+              (unsigned long long)m.ssr_idx_words);
+  std::printf("fpu activity (cores busy, 0-8, over time):\n  [%s]\n",
+              ascii_activity_strip(m.fpu_timeline, 72).c_str());
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Reproduces Figure 3a: execution speedup of saris over base code variants
+// on the eight-core cluster, per code and geomean.
+// Paper: geomean 2.72x, min 2.36x (jacobi_2d), max 3.87x (j3d27pt),
+// increasing with FLOPs per grid point.
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "report/csv.hpp"
+#include "report/table.hpp"
+#include "runtime/kernel_runner.hpp"
+#include "stencil/codes.hpp"
+
+int main() {
+  using namespace saris;
+  std::printf("== Figure 3a: SARIS speedup over base (8-core cluster) ==\n");
+  TextTable t({"code", "base cycles", "saris cycles", "speedup"});
+  CsvWriter csv("fig3a_speedup.csv", {"code", "base_cycles", "saris_cycles",
+                                      "speedup"});
+  std::vector<double> speedups;
+  for (const StencilCode& sc : all_codes()) {
+    auto [base, saris] = run_both(sc);
+    double s = static_cast<double>(base.cycles) /
+               static_cast<double>(saris.cycles);
+    speedups.push_back(s);
+    t.add_row({sc.name, std::to_string(base.cycles),
+               std::to_string(saris.cycles), TextTable::fmt(s, 2)});
+    csv.add_row({sc.name, std::to_string(base.cycles),
+                 std::to_string(saris.cycles), TextTable::fmt(s, 3)});
+  }
+  std::printf("%s", t.str().c_str());
+  std::printf("geomean speedup: %.2fx   (paper: 2.72x, range 2.36x-3.87x)\n",
+              geomean(speedups));
+  return 0;
+}

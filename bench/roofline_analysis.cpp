@@ -1,0 +1,45 @@
+// Roofline positions of all ten codes on Manticore-256s, alongside the
+// achieved saris throughput from the Figure-5 estimator: shows how far each
+// memory-bound code sits from its bandwidth roof and why the paper's
+// compute-bound codes can approach 79 % of peak.
+#include <cstdio>
+
+#include "report/csv.hpp"
+#include "report/table.hpp"
+#include "runtime/kernel_runner.hpp"
+#include "scaleout/manticore.hpp"
+#include "scaleout/roofline.hpp"
+#include "stencil/codes.hpp"
+
+int main() {
+  using namespace saris;
+  ManticoreConfig cfg;
+  std::printf("== Roofline: Manticore-256s (peak %.0f GFLOP/s, "
+              "%.1f GB/s, ridge %.2f FLOP/B) ==\n",
+              cfg.peak_gflops(), cfg.hbm.total_gbps(),
+              cfg.peak_gflops() / cfg.hbm.total_gbps());
+  TextTable t({"code", "FLOP/B", "roof GF/s", "achieved GF/s",
+               "% of roof", "regime"});
+  CsvWriter csv("roofline_analysis.csv",
+                {"code", "op_intensity", "roof_gflops", "achieved_gflops",
+                 "pct_of_roof"});
+  for (const StencilCode& sc : all_codes()) {
+    RooflinePoint r = roofline(sc, cfg);
+    auto [base, saris_m] = run_both(sc);
+    ScaleoutResult s = estimate_scaleout(sc, base, saris_m, cfg);
+    double pct = s.saris.gflops / r.roof_gflops;
+    t.add_row({sc.name, TextTable::fmt(r.op_intensity, 2),
+               TextTable::fmt(r.roof_gflops, 0),
+               TextTable::fmt(s.saris.gflops, 0), TextTable::pct(pct),
+               r.below_ridge ? "bandwidth" : "compute"});
+    csv.add_row({sc.name, TextTable::fmt(r.op_intensity, 4),
+                 TextTable::fmt(r.roof_gflops, 1),
+                 TextTable::fmt(s.saris.gflops, 1),
+                 TextTable::fmt(pct, 4)});
+  }
+  std::printf("%s", t.str().c_str());
+  std::printf("saris achieves a high fraction of each code's *roof*: the "
+              "residual gaps are DMA burst efficiency (memory-bound codes) "
+              "and FPU-utilization losses (compute-bound codes).\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Reproduces Table 1: implemented stencil codes and their per-grid-point
+// characteristics, sorted by FLOPs per point. These values are *computed*
+// from the code descriptors and schedules (not transcribed), so this bench
+// doubles as a check that the implementation matches the paper's accounting.
+#include <cstdio>
+
+#include "report/csv.hpp"
+#include "report/table.hpp"
+#include "stencil/codes.hpp"
+
+int main() {
+  using namespace saris;
+  std::printf("== Table 1: implemented stencil codes ==\n");
+  TextTable t({"code", "dims", "radius", "#loads", "#coeffs", "#FLOPs",
+               "tile"});
+  CsvWriter csv("table1_codes.csv", {"code", "dims", "radius", "loads",
+                                     "coeffs", "flops"});
+  for (const StencilCode& sc : all_codes()) {
+    std::string tile = std::to_string(sc.tile_nx) + "x" +
+                       std::to_string(sc.tile_ny) +
+                       (sc.dims == 3 ? "x" + std::to_string(sc.tile_nz) : "");
+    t.add_row({sc.name, std::to_string(sc.dims) + "D",
+               std::to_string(sc.radius), std::to_string(sc.loads_per_point()),
+               std::to_string(sc.n_coeffs),
+               std::to_string(sc.flops_per_point()), tile});
+    csv.add_row({sc.name, std::to_string(sc.dims), std::to_string(sc.radius),
+                 std::to_string(sc.loads_per_point()),
+                 std::to_string(sc.n_coeffs),
+                 std::to_string(sc.flops_per_point())});
+  }
+  std::printf("%s", t.str().c_str());
+  std::printf("paper Table 1 rows: jacobi_2d(2D,1,5,1,5) j2d5pt(2D,1,5,6,10) "
+              "box2d1r(2D,1,9,9,17) j2d9pt(2D,2,9,10,18)\n"
+              "  j2d9pt_gol(2D,1,9,10,18) star2d3r(2D,3,13,13,25) "
+              "star3d2r(3D,2,13,13,25) ac_iso_cd(3D,4,26,13,38)\n"
+              "  box3d1r(3D,1,27,27,53) j3d27pt(3D,1,27,28,54)\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Heat diffusion on a 3-D tile: steps the star3d2r stencil through time on
+// the simulated cluster with alternating buffers (the paper's setting), and
+// tracks the decay of an initial hot spot — a physically interpretable use
+// of the public API beyond single-shot benchmarking.
+#include <cmath>
+#include <cstdio>
+
+#include "runtime/kernel_runner.hpp"
+#include "stencil/codes.hpp"
+
+namespace {
+
+double interior_heat(const saris::StencilCode& sc, const saris::Grid<>& g) {
+  double sum = 0.0;
+  saris::u32 r = sc.radius;
+  for (saris::u32 z = r; z < sc.tile_nz - r; ++z) {
+    for (saris::u32 y = r; y < sc.tile_ny - r; ++y) {
+      for (saris::u32 x = r; x < sc.tile_nx - r; ++x) {
+        sum += std::fabs(g.at(x, y, z));
+      }
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+int main() {
+  using namespace saris;
+  const StencilCode& sc = code_by_name("star3d2r");
+  const u32 steps = 6;
+
+  std::printf("3-D heat diffusion with %s: %u time steps on a %ux%ux%u "
+              "tile\n\n",
+              sc.name.c_str(), steps, sc.tile_nx, sc.tile_ny, sc.tile_nz);
+
+  // Diffusion-like coefficients: strong center, symmetric positive
+  // neighbours, total mass slightly below 1 so the hot spot decays.
+  std::vector<double> coeffs(sc.n_coeffs, 0.0);
+  coeffs[0] = 0.40;  // center tap (make_star_taps puts it first)
+  for (u32 i = 1; i < sc.n_coeffs; ++i) {
+    coeffs[i] = 0.55 / static_cast<double>(sc.n_coeffs - 1);
+  }
+
+  KernelIO io;
+  io.inputs.emplace_back(sc.tile_nx, sc.tile_ny, sc.tile_nz);
+  io.inputs[0].fill(0.0);
+  io.inputs[0].at(8, 8, 8) = 100.0;  // hot spot
+  io.coeffs = coeffs;
+
+  RunConfig cfg;
+  cfg.variant = KernelVariant::kSaris;
+
+  Cycle total_cycles = 0;
+  std::printf("%6s %16s %14s %12s\n", "step", "interior |heat|", "hot spot",
+              "cycles");
+  std::printf("%6d %16.3f %14.4f %12s\n", 0,
+              interior_heat(sc, io.inputs[0]), io.inputs[0].at(8, 8, 8), "-");
+  for (u32 s = 1; s <= steps; ++s) {
+    RunMetrics m = run_kernel_io(sc, cfg, io);
+    total_cycles += m.cycles;
+    // Alternate buffers: this step's output becomes the next input; the
+    // halo keeps its boundary condition (zero).
+    Grid<> next = io.outputs[0];
+    for (u32 z = 0; z < sc.tile_nz; ++z) {
+      for (u32 y = 0; y < sc.tile_ny; ++y) {
+        for (u32 x = 0; x < sc.tile_nx; ++x) {
+          bool interior = x >= sc.radius && x < sc.tile_nx - sc.radius &&
+                          y >= sc.radius && y < sc.tile_ny - sc.radius &&
+                          z >= sc.radius && z < sc.tile_nz - sc.radius;
+          if (!interior) next.at(x, y, z) = 0.0;
+        }
+      }
+    }
+    io.inputs[0] = next;
+    std::printf("%6u %16.3f %14.4f %12llu\n", s,
+                interior_heat(sc, io.inputs[0]), io.inputs[0].at(8, 8, 8),
+                static_cast<unsigned long long>(m.cycles));
+  }
+
+  std::printf("\n%u steps in %llu simulated cycles (%.1f us at 1 GHz); "
+              "every step verified against the reference executor.\n",
+              steps, static_cast<unsigned long long>(total_cycles),
+              static_cast<double>(total_cycles) / 1e3);
+  std::printf("The hot spot spreads and decays — the %s coefficients act "
+              "as a lossy 13-point diffusion operator.\n",
+              sc.name.c_str());
+  return 0;
+}

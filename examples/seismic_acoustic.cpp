@@ -1,0 +1,109 @@
+// Seismic wave propagation with ac_iso_cd — the paper's most demanding
+// code (radius-4 star, two time-step arrays, 38 FLOPs/point; from
+// Jacquelin et al.'s acoustic isotropic constant-density kernel).
+//
+// Second-order-in-time wave stepping: u_next = L(u) - u_prev, where L folds
+// the Laplacian and the 2u term into the center coefficient. The example
+// injects an impulse, steps the field, and reports wavefront spread plus
+// cluster metrics per step.
+#include <cmath>
+#include <cstdio>
+
+#include "runtime/kernel_runner.hpp"
+#include "stencil/codes.hpp"
+
+namespace {
+
+using saris::Grid;
+using saris::StencilCode;
+using saris::u32;
+
+double wavefront_radius(const StencilCode& sc, const Grid<>& g, u32 c) {
+  // Mean |value|-weighted distance from the source voxel.
+  double wsum = 0.0, dsum = 0.0;
+  for (u32 z = sc.radius; z < sc.tile_nz - sc.radius; ++z) {
+    for (u32 y = sc.radius; y < sc.tile_ny - sc.radius; ++y) {
+      for (u32 x = sc.radius; x < sc.tile_nx - sc.radius; ++x) {
+        double w = std::fabs(g.at(x, y, z));
+        double dx = static_cast<double>(x) - c;
+        double dy = static_cast<double>(y) - c;
+        double dz = static_cast<double>(z) - c;
+        wsum += w;
+        dsum += w * std::sqrt(dx * dx + dy * dy + dz * dz);
+      }
+    }
+  }
+  return wsum > 0 ? dsum / wsum : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace saris;
+  const StencilCode& sc = code_by_name("ac_iso_cd");
+  const u32 steps = 5;
+  const u32 c = 8;  // source voxel
+
+  std::printf("acoustic isotropic constant-density propagation "
+              "(%s): %u steps\n\n",
+              sc.name.c_str(), steps);
+
+  // Wave-equation coefficients: c0' = 2 + c^2 dt^2 * lap_center (folded 2u
+  // term), per-(axis,radius) Laplacian weights scaled to stay stable on
+  // this tiny tile.
+  std::vector<double> coeffs(sc.n_coeffs, 0.0);
+  const double cfl = 0.08;  // c^2 dt^2 / h^2
+  const double lap_w[4] = {8.0 / 5.0, -1.0 / 5.0, 8.0 / 315.0, -1.0 / 560.0};
+  double center_lap = -205.0 / 72.0;
+  coeffs[0] = 2.0 + cfl * 3.0 * center_lap;  // center (all three axes)
+  for (u32 axis = 0; axis < 3; ++axis) {
+    for (u32 r = 1; r <= 4; ++r) {
+      coeffs[1 + axis * 4 + (r - 1)] = cfl * lap_w[r - 1];
+    }
+  }
+
+  KernelIO io;
+  io.inputs.emplace_back(sc.tile_nx, sc.tile_ny, sc.tile_nz);  // u
+  io.inputs.emplace_back(sc.tile_nx, sc.tile_ny, sc.tile_nz);  // u_prev
+  io.inputs[0].fill(0.0);
+  io.inputs[1].fill(0.0);
+  io.inputs[0].at(c, c, c) = 1.0;  // impulse at t=0
+  io.coeffs = coeffs;
+
+  RunConfig cfg;
+  cfg.variant = KernelVariant::kSaris;
+
+  std::printf("%6s %12s %12s %10s %10s\n", "step", "u(src)", "radius",
+              "cycles", "FPU util");
+  Cycle total = 0;
+  for (u32 s = 1; s <= steps; ++s) {
+    RunMetrics m = run_kernel_io(sc, cfg, io);
+    total += m.cycles;
+    // Second-order time stepping: u_prev <- u, u <- u_next (halo zeroed).
+    Grid<> u_next = io.outputs[0];
+    for (u32 z = 0; z < sc.tile_nz; ++z) {
+      for (u32 y = 0; y < sc.tile_ny; ++y) {
+        for (u32 x = 0; x < sc.tile_nx; ++x) {
+          bool interior = x >= sc.radius && x < sc.tile_nx - sc.radius &&
+                          y >= sc.radius && y < sc.tile_ny - sc.radius &&
+                          z >= sc.radius && z < sc.tile_nz - sc.radius;
+          if (!interior) u_next.at(x, y, z) = 0.0;
+        }
+      }
+    }
+    io.inputs[1] = io.inputs[0];
+    io.inputs[0] = u_next;
+    std::printf("%6u %12.5f %12.3f %10llu %9.1f%%\n", s,
+                io.inputs[0].at(c, c, c),
+                wavefront_radius(sc, io.inputs[0], c),
+                static_cast<unsigned long long>(m.cycles),
+                m.fpu_util() * 100);
+  }
+  std::printf("\nthe impulse disperses outward (radius grows) while the "
+              "source amplitude rings down — %llu cycles total.\n",
+              static_cast<unsigned long long>(total));
+  std::printf("note: ac_iso_cd is the paper's lowest-utilization saris "
+              "code (70%%): radius-4 halos leave only 8^3 interior points "
+              "to amortize the per-row stream launches.\n");
+  return 0;
+}

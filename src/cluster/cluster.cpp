@@ -1,0 +1,58 @@
+#include "cluster/cluster.hpp"
+
+#include "common/log.hpp"
+
+namespace saris {
+
+Cluster::Cluster(const ClusterConfig& cfg)
+    : cfg_(cfg),
+      tcdm_(cfg.tcdm_bytes, cfg.tcdm_banks),
+      mem_(cfg.main_mem_bytes),
+      barrier_(cfg.num_cores) {
+  for (u32 i = 0; i < cfg.num_cores; ++i) {
+    cores_.push_back(std::make_unique<Core>(i, tcdm_, barrier_));
+  }
+  dma_ = std::make_unique<Dma>(tcdm_, mem_);
+}
+
+Core& Cluster::core(u32 i) {
+  SARIS_CHECK(i < cores_.size(), "bad core index " << i);
+  return *cores_[i];
+}
+
+void Cluster::step() {
+  for (auto& c : cores_) c->tick(now_);
+  dma_->tick(now_);
+  tcdm_.arbitrate(now_);
+  barrier_.tick(now_);
+  ++now_;
+}
+
+bool Cluster::all_halted() const {
+  for (const auto& c : cores_) {
+    if (!c->halted()) return false;
+  }
+  return true;
+}
+
+Cycle Cluster::run_until_halted(Cycle max_cycles) {
+  Cycle start = now_;
+  while (!all_halted()) {
+    SARIS_CHECK(now_ - start < max_cycles,
+                "cluster did not halt within " << max_cycles << " cycles");
+    step();
+  }
+  return now_ - start;
+}
+
+Cycle Cluster::run_until_dma_idle(Cycle max_cycles) {
+  Cycle start = now_;
+  while (!dma_->idle()) {
+    SARIS_CHECK(now_ - start < max_cycles,
+                "DMA did not drain within " << max_cycles << " cycles");
+    step();
+  }
+  return now_ - start;
+}
+
+}  // namespace saris

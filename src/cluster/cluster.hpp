@@ -1,0 +1,60 @@
+// The Snitch compute cluster: eight cores, 128 KiB / 32-bank TCDM, DMA
+// engine, hardware barrier, single clock domain.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/barrier.hpp"
+#include "core/core.hpp"
+#include "mem/dma.hpp"
+#include "mem/main_memory.hpp"
+#include "mem/tcdm.hpp"
+
+namespace saris {
+
+struct ClusterConfig {
+  u32 num_cores = 8;
+  u32 tcdm_bytes = kTcdmSizeBytes;
+  u32 tcdm_banks = kTcdmBanks;
+  u64 main_mem_bytes = 512ull * 1024 * 1024;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& cfg = ClusterConfig{});
+
+  u32 num_cores() const { return static_cast<u32>(cores_.size()); }
+  Core& core(u32 i);
+  Tcdm& tcdm() { return tcdm_; }
+  MainMemory& mem() { return mem_; }
+  Dma& dma() { return *dma_; }
+  Barrier& barrier() { return barrier_; }
+
+  Cycle now() const { return now_; }
+
+  /// Advance one cycle: cores, DMA, TCDM arbitration, barrier.
+  void step();
+
+  bool all_halted() const;
+
+  /// Step until every core has halted; returns cycles elapsed. Aborts (with
+  /// a CHECK diagnostic) if `max_cycles` elapse first — a deadlocked stream
+  /// or missing halt is a programming error.
+  Cycle run_until_halted(Cycle max_cycles = 100'000'000);
+
+  /// Step until the DMA engine is idle (used for prologue/epilogue copies).
+  Cycle run_until_dma_idle(Cycle max_cycles = 100'000'000);
+
+ private:
+  ClusterConfig cfg_;
+  Tcdm tcdm_;
+  MainMemory mem_;
+  Barrier barrier_;
+  std::vector<std::unique_ptr<Core>> cores_;
+  std::unique_ptr<Dma> dma_;  ///< constructed after the cores so compute
+                              ///< ports precede DMA ports in arbitration
+  Cycle now_ = 0;
+};
+
+}  // namespace saris

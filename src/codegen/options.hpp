@@ -1,0 +1,20 @@
+// Tunables of the code generators, exposed for ablation benches. Defaults
+// reproduce the paper's configuration ("unroll up to four-fold iff
+// beneficial", FREP where possible, reassociation, coefficient streaming
+// for register-bound codes).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace saris {
+
+struct CodegenOptions {
+  u32 unroll = 0;          ///< 0 = auto (paper heuristic), else forced
+  u32 chains = 0;          ///< accumulator chains; 0 = auto
+  bool use_frep = true;    ///< saris: allow FREP hardware loops
+  i32 stream_coeffs = -1;  ///< saris: -1 auto, 0 never, 1 force
+  u32 pair_pipeline = 2;   ///< pair-adds kept in flight (AxisPairs codes)
+  u32 base_staging = 4;    ///< baseline: load staging registers per instance
+};
+
+}  // namespace saris

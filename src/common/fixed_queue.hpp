@@ -1,0 +1,50 @@
+// Fixed-capacity FIFO used to model hardware queues (SSR data FIFOs, the FPU
+// offload queue, DMA request queues). Capacity is a runtime constant so unit
+// tests can sweep depths.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace saris {
+
+template <typename T>
+class FixedQueue {
+ public:
+  explicit FixedQueue(std::size_t capacity) : capacity_(capacity) {
+    SARIS_CHECK(capacity > 0, "queue capacity must be positive");
+  }
+
+  bool empty() const { return buf_.empty(); }
+  bool full() const { return buf_.size() >= capacity_; }
+  std::size_t size() const { return buf_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t space() const { return capacity_ - buf_.size(); }
+
+  void push(const T& v) {
+    SARIS_CHECK(!full(), "push to full queue (cap=" << capacity_ << ")");
+    buf_.push_back(v);
+  }
+
+  const T& front() const {
+    SARIS_CHECK(!empty(), "front of empty queue");
+    return buf_.front();
+  }
+
+  T pop() {
+    SARIS_CHECK(!empty(), "pop from empty queue");
+    T v = buf_.front();
+    buf_.erase(buf_.begin());
+    return v;
+  }
+
+  void clear() { buf_.clear(); }
+
+ private:
+  std::size_t capacity_;
+  std::vector<T> buf_;
+};
+
+}  // namespace saris

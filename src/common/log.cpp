@@ -1,0 +1,33 @@
+#include "common/log.hpp"
+
+namespace saris {
+
+namespace {
+LogLevel g_threshold = LogLevel::kWarn;
+}  // namespace
+
+LogLevel log_threshold() { return g_threshold; }
+void set_log_threshold(LogLevel level) { g_threshold = level; }
+
+namespace detail {
+
+void log_message(LogLevel level, const std::string& msg) {
+  const char* tag = "?";
+  switch (level) {
+    case LogLevel::kDebug: tag = "DEBUG"; break;
+    case LogLevel::kInfo: tag = "INFO"; break;
+    case LogLevel::kWarn: tag = "WARN"; break;
+    case LogLevel::kError: tag = "ERROR"; break;
+  }
+  std::fprintf(stderr, "[saris:%s] %s\n", tag, msg.c_str());
+}
+
+void check_failed(const char* file, int line, const char* expr,
+                  const std::string& msg) {
+  std::fprintf(stderr, "[saris:CHECK] %s:%d: check `%s` failed: %s\n", file,
+               line, expr, msg.c_str());
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace saris

@@ -1,0 +1,49 @@
+// Small statistics helpers shared by metrics, energy and scale-out code.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace saris {
+
+/// Geometric mean of strictly positive values (the paper reports geomeans).
+inline double geomean(const std::vector<double>& xs) {
+  SARIS_CHECK(!xs.empty(), "geomean of empty set");
+  double acc = 0.0;
+  for (double x : xs) {
+    SARIS_CHECK(x > 0.0, "geomean requires positive values, got " << x);
+    acc += std::log(x);
+  }
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+inline double mean(const std::vector<double>& xs) {
+  SARIS_CHECK(!xs.empty(), "mean of empty set");
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+inline double max_of(const std::vector<double>& xs) {
+  SARIS_CHECK(!xs.empty(), "max of empty set");
+  double m = xs.front();
+  for (double x : xs) m = std::max(m, x);
+  return m;
+}
+
+inline double min_of(const std::vector<double>& xs) {
+  SARIS_CHECK(!xs.empty(), "min of empty set");
+  double m = xs.front();
+  for (double x : xs) m = std::min(m, x);
+  return m;
+}
+
+/// Relative spread (max/mean) — used to carry the measured inter-core
+/// runtime-imbalance distribution into the scale-out model.
+inline double imbalance_ratio(const std::vector<double>& xs) {
+  return max_of(xs) / mean(xs);
+}
+
+}  // namespace saris

@@ -1,0 +1,26 @@
+// Basic scalar type aliases used across the SARIS simulator.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace saris {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Simulation time in core clock cycles (cluster runs a single clock domain).
+using Cycle = u64;
+
+/// Byte address inside the TCDM (or main memory) address space.
+using Addr = u32;
+
+inline constexpr u32 kWordBytes = 8;  ///< TCDM word (64 bit) in bytes.
+
+}  // namespace saris

@@ -1,0 +1,290 @@
+#include "core/core.hpp"
+
+#include "common/log.hpp"
+
+namespace saris {
+
+Core::Core(u32 id, Tcdm& tcdm, Barrier& barrier)
+    : id_(id),
+      tcdm_(tcdm),
+      barrier_(barrier),
+      ssr_(tcdm, id),
+      fpu_(tcdm, ssr_, perf_, fregs_, id),
+      int_port_(tcdm.make_port("ilsu" + std::to_string(id))) {}
+
+void Core::load_program(Program p) {
+  prog_ = std::move(p);
+  reset();
+}
+
+void Core::reset() {
+  pc_ = 0;
+  xregs_.fill(0);
+  fregs_.fill(0.0);
+  perf_ = CorePerf{};
+  stall_cycles_ = 0;
+  barrier_wait_ = false;
+  int_load_wait_ = false;
+  int_store_wait_ = false;
+  icache_paid_pc_ = -1;
+}
+
+void Core::tick(Cycle now) {
+  // Order matters: absorb last cycle's memory grants first so this cycle's
+  // issue logic sees them; emit new SSR requests last so they use FIFO slots
+  // freed this cycle.
+  ssr_.collect(now);
+  fpu_.collect(now);
+  // Swallow pending write acks on the integer LSU port.
+  if (int_store_wait_ && tcdm_.response_ready(int_port_)) {
+    tcdm_.take_response(int_port_);
+    int_store_wait_ = false;
+  }
+  fpu_.tick(now);
+  // FREP replay: inject one instruction per cycle while there is room.
+  if (seq_.replaying() && !fpu_.queue_full()) {
+    fpu_.enqueue(seq_.next());
+  }
+  int_step(now);
+  ssr_.tick(now);
+}
+
+void Core::int_step(Cycle now) {
+  if (perf_.halted) return;
+  if (prog_.empty()) {  // no program loaded: core stays parked
+    perf_.halted = true;
+    perf_.halted_at = now;
+    return;
+  }
+
+  if (barrier_wait_) {
+    if (barrier_.released(id_)) {
+      barrier_wait_ = false;
+    } else {
+      ++perf_.stall_barrier;
+      return;
+    }
+  }
+
+  if (stall_cycles_ > 0) {
+    --stall_cycles_;
+    return;
+  }
+
+  if (int_load_wait_) {
+    if (!tcdm_.response_ready(int_port_)) {
+      ++perf_.stall_int_lsu;
+      return;
+    }
+    u64 data = tcdm_.take_response(int_port_);
+    u32 v;
+    if (int_load_size_ == 2) {
+      v = static_cast<u32>(
+          static_cast<i32>(static_cast<i16>(data & 0xFFFF)));
+    } else {
+      v = static_cast<u32>(data);
+    }
+    set_xreg(int_load_rd_.idx, v);
+    int_load_wait_ = false;
+    // Fall through: the core resumes fetching this cycle.
+  }
+
+  SARIS_CHECK(pc_ < prog_.size(), "pc ran off the program end on core "
+                                      << id_ << " (missing halt?)");
+
+  // Instruction fetch (pay the I$ penalty once per new pc).
+  if (icache_paid_pc_ != static_cast<i64>(pc_)) {
+    u32 pen = icache_.access(pc_ * 4);
+    icache_paid_pc_ = static_cast<i64>(pc_);
+    if (pen > 0) {
+      stall_cycles_ = pen;
+      perf_.stall_icache += pen;
+      return;
+    }
+  }
+
+  const Instr& in = prog_.at(pc_);
+
+  // ---- FP instructions: offload ----
+  if (is_fp_op(in.op)) {
+    if (seq_.replaying()) {
+      ++perf_.stall_seq_busy;
+      return;
+    }
+    if (fpu_.queue_full()) {
+      ++perf_.stall_fpu_queue_full;
+      return;
+    }
+    Instr off = in;
+    if (op_class(in.op) == OpClass::kFpMem) {
+      // The integer core computes the effective address at offload time.
+      off.target = xregs_[in.rs1.idx] + static_cast<u32>(in.imm);
+    }
+    fpu_.enqueue(off);
+    if (seq_.capturing()) {
+      SARIS_CHECK(op_class(in.op) == OpClass::kFpCompute,
+                  "frep bodies must contain FP compute only");
+      seq_.capture(off);
+    }
+    ++pc_;
+    return;
+  }
+
+  // ---- integer / system instructions ----
+  switch (in.op) {
+    case Op::kFrep: {
+      if (seq_.busy()) {
+        ++perf_.stall_seq_busy;
+        return;
+      }
+      u64 reps = xregs_[in.rs1.idx];
+      seq_.start(reps, frep_body_len(in.imm), frep_stagger(in.imm),
+                 frep_stagger_base(in.imm));
+      ++perf_.int_instrs;
+      ++pc_;
+      return;
+    }
+    case Op::kScfgwi: {
+      u32 lane = static_cast<u32>(in.imm) / 256;
+      u32 word = static_cast<u32>(in.imm) % 256;
+      SARIS_CHECK(lane < kNumSsrLanes, "scfgwi to bad lane " << lane);
+      if (ssr_.lane(lane).busy()) {
+        ++perf_.stall_scfg_busy;
+        return;
+      }
+      ssr_.lane(lane).write_cfg(word, xregs_[in.rs1.idx]);
+      ++perf_.int_instrs;
+      ++pc_;
+      return;
+    }
+    case Op::kSsrEn:
+      ssr_.set_enabled(true);
+      ++perf_.int_instrs;
+      ++pc_;
+      return;
+    case Op::kSsrDis:
+      if (ssr_.any_busy() || !fpu_.drained()) {
+        ++perf_.stall_halt_drain;
+        return;
+      }
+      ssr_.set_enabled(false);
+      ++perf_.int_instrs;
+      ++pc_;
+      return;
+    case Op::kBarrier:
+      barrier_.arrive(id_);
+      barrier_wait_ = true;
+      ++perf_.int_instrs;
+      ++pc_;
+      return;
+    case Op::kHalt:
+      if (!fpu_.drained() || ssr_.any_busy() || seq_.busy()) {
+        ++perf_.stall_halt_drain;
+        return;
+      }
+      perf_.halted = true;
+      perf_.halted_at = now;
+      return;
+    case Op::kLw:
+    case Op::kLh: {
+      if (int_store_wait_ || !tcdm_.port_idle(int_port_)) {
+        ++perf_.stall_int_lsu;
+        return;
+      }
+      u32 size = (in.op == Op::kLh) ? 2 : 4;
+      Addr a = xregs_[in.rs1.idx] + static_cast<u32>(in.imm);
+      tcdm_.post(int_port_, a, size, /*is_write=*/false, 0);
+      int_load_wait_ = true;
+      int_load_rd_ = in.rd;
+      int_load_size_ = size;
+      ++perf_.int_instrs;
+      ++pc_;
+      return;
+    }
+    case Op::kSw:
+    case Op::kSh: {
+      if (int_store_wait_ || int_load_wait_ || !tcdm_.port_idle(int_port_)) {
+        ++perf_.stall_int_lsu;
+        return;
+      }
+      u32 size = (in.op == Op::kSh) ? 2 : 4;
+      Addr a = xregs_[in.rs1.idx] + static_cast<u32>(in.imm);
+      tcdm_.post(int_port_, a, size, /*is_write=*/true, xregs_[in.rs2.idx]);
+      int_store_wait_ = true;
+      ++perf_.int_instrs;
+      ++pc_;
+      return;
+    }
+    default:
+      exec_int(in, now);
+      return;
+  }
+}
+
+void Core::exec_int(const Instr& in, Cycle now) {
+  auto branch_to = [&](bool taken) {
+    ++perf_.int_instrs;
+    if (taken) {
+      pc_ = in.target;
+      stall_cycles_ = kBranchPenaltyCycles;
+      perf_.stall_branch += kBranchPenaltyCycles;
+    } else {
+      ++pc_;
+    }
+  };
+
+  switch (in.op) {
+    case Op::kAddi:
+      set_xreg(in.rd.idx, xregs_[in.rs1.idx] + static_cast<u32>(in.imm));
+      break;
+    case Op::kAdd:
+      set_xreg(in.rd.idx, xregs_[in.rs1.idx] + xregs_[in.rs2.idx]);
+      break;
+    case Op::kSub:
+      set_xreg(in.rd.idx, xregs_[in.rs1.idx] - xregs_[in.rs2.idx]);
+      break;
+    case Op::kLui:
+      set_xreg(in.rd.idx, static_cast<u32>(in.imm) << 12);
+      break;
+    case Op::kSlli:
+      set_xreg(in.rd.idx, xregs_[in.rs1.idx] << in.imm);
+      break;
+    case Op::kSrli:
+      set_xreg(in.rd.idx, xregs_[in.rs1.idx] >> in.imm);
+      break;
+    case Op::kAndi:
+      set_xreg(in.rd.idx, xregs_[in.rs1.idx] & static_cast<u32>(in.imm));
+      break;
+    case Op::kMul:
+      set_xreg(in.rd.idx, xregs_[in.rs1.idx] * xregs_[in.rs2.idx]);
+      break;
+    case Op::kBeq:
+      branch_to(xregs_[in.rs1.idx] == xregs_[in.rs2.idx]);
+      return;
+    case Op::kBne:
+      branch_to(xregs_[in.rs1.idx] != xregs_[in.rs2.idx]);
+      return;
+    case Op::kBlt:
+      branch_to(static_cast<i32>(xregs_[in.rs1.idx]) <
+                static_cast<i32>(xregs_[in.rs2.idx]));
+      return;
+    case Op::kBge:
+      branch_to(static_cast<i32>(xregs_[in.rs1.idx]) >=
+                static_cast<i32>(xregs_[in.rs2.idx]));
+      return;
+    case Op::kJal:
+      branch_to(true);
+      return;
+    case Op::kCsrrCycle:
+      set_xreg(in.rd.idx, static_cast<u32>(now));
+      break;
+    case Op::kNop:
+      break;
+    default:
+      SARIS_CHECK(false, "unhandled op " << op_name(in.op));
+  }
+  ++perf_.int_instrs;
+  ++pc_;
+}
+
+}  // namespace saris

@@ -1,0 +1,86 @@
+// One Snitch-like core: single-issue in-order integer pipeline that executes
+// integer/control instructions locally and offloads FP instructions to the
+// FP subsystem. Adds the two ISA extensions the paper builds on:
+//  - SSR/SSSR stream registers (ft0..ft2 mapped to SsrUnit lanes),
+//  - FREP hardware loop (FrepSequencer feeding the FPU queue while the
+//    integer core runs ahead).
+//
+// Addresses of offloaded fld/fsd are computed by the integer core at offload
+// time (as on Snitch) and carried in Instr::target.
+#pragma once
+
+#include <array>
+
+#include "cluster/barrier.hpp"
+#include "core/fpu.hpp"
+#include "core/frep.hpp"
+#include "core/icache.hpp"
+#include "core/perf_counters.hpp"
+#include "isa/program.hpp"
+#include "mem/tcdm.hpp"
+#include "ssr/ssr_unit.hpp"
+
+namespace saris {
+
+inline constexpr u32 kBranchPenaltyCycles = 2;
+
+class Core {
+ public:
+  Core(u32 id, Tcdm& tcdm, Barrier& barrier);
+
+  void load_program(Program p);
+  void reset();
+
+  /// Advance one cycle (SSR collect -> FPU -> sequencer -> integer step ->
+  /// SSR issue). The cluster arbitrates the TCDM afterwards.
+  void tick(Cycle now);
+
+  bool halted() const { return perf_.halted; }
+
+  u32 id() const { return id_; }
+  CorePerf& perf() { return perf_; }
+  const CorePerf& perf() const { return perf_; }
+  SsrUnit& ssr() { return ssr_; }
+  ICache& icache() { return icache_; }
+  const Program& program() const { return prog_; }
+
+  // Architectural state access (tests, runtime argument passing).
+  u32 xreg(u8 i) const { return xregs_[i]; }
+  void set_xreg(u8 i, u32 v) {
+    if (i != 0) xregs_[i] = v;
+  }
+  double freg(u8 i) const { return fregs_[i]; }
+  void set_freg(u8 i, double v) { fregs_[i] = v; }
+
+ private:
+  void int_step(Cycle now);
+  void exec_int(const Instr& in, Cycle now);
+
+  u32 id_;
+  Tcdm& tcdm_;
+  Barrier& barrier_;
+
+  Program prog_;
+  u32 pc_ = 0;
+
+  std::array<u32, kNumXRegs> xregs_{};
+  std::array<double, kNumFRegs> fregs_{};
+
+  SsrUnit ssr_;
+  CorePerf perf_;
+  FpSubsystem fpu_;
+  FrepSequencer seq_;
+  ICache icache_;
+
+  u32 int_port_;
+  bool int_load_wait_ = false;
+  bool int_store_wait_ = false;  ///< a write ack is owed on the port
+  XReg int_load_rd_{};
+  u32 int_load_size_ = 4;
+
+  u32 stall_cycles_ = 0;
+  bool barrier_wait_ = false;
+  i64 icache_paid_pc_ = -1;
+};
+
+}  // namespace saris

@@ -1,0 +1,247 @@
+#include "core/fpu.hpp"
+
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace saris {
+
+namespace {
+double bits_to_f64(u64 bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+u64 f64_to_bits(double v) {
+  u64 bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+}  // namespace
+
+FpSubsystem::FpSubsystem(Tcdm& tcdm, SsrUnit& ssr, CorePerf& perf,
+                         std::array<double, kNumFRegs>& fregs, u32 core_id)
+    : tcdm_(tcdm),
+      ssr_(ssr),
+      perf_(perf),
+      fregs_(fregs),
+      queue_(kFpuQueueDepth),
+      lsu_port_(tcdm.make_port("flsu" + std::to_string(core_id))) {
+  freg_ready_.fill(0);
+}
+
+void FpSubsystem::enqueue(const Instr& in) {
+  SARIS_CHECK(is_fp_op(in.op), "non-FP op offloaded: " << op_name(in.op));
+  queue_.push(in);
+}
+
+void FpSubsystem::collect(Cycle now) {
+  if (lsu_busy_ && tcdm_.response_ready(lsu_port_)) {
+    u64 data = tcdm_.take_response(lsu_port_);
+    if (lsu_is_load_) {
+      fregs_[lsu_dest_.idx] = bits_to_f64(data);
+      freg_ready_[lsu_dest_.idx] = now + 1;
+    }
+    lsu_busy_ = false;
+  }
+}
+
+bool FpSubsystem::src_ready(FReg r, Cycle now) const {
+  if (ssr_.enabled() && is_ssr_reg(r)) {
+    return ssr_.lane(ssr_lane_of(r)).can_pop();
+  }
+  return freg_ready_[r.idx] <= now;
+}
+
+double FpSubsystem::read_src(FReg r) {
+  if (ssr_.enabled() && is_ssr_reg(r)) {
+    return ssr_.lane(ssr_lane_of(r)).pop();
+  }
+  return fregs_[r.idx];
+}
+
+bool FpSubsystem::operands_ready(const Instr& in, Cycle now) const {
+  switch (in.op) {
+    case Op::kFaddD:
+    case Op::kFsubD:
+    case Op::kFmulD:
+      return src_ready(in.frs1, now) && src_ready(in.frs2, now);
+    case Op::kFmaddD:
+    case Op::kFmsubD:
+    case Op::kFnmsubD:
+      return src_ready(in.frs1, now) && src_ready(in.frs2, now) &&
+             src_ready(in.frs3, now);
+    case Op::kFsgnjD:
+      return src_ready(in.frs1, now);
+    case Op::kFld:
+      return true;
+    case Op::kFsd:
+      return src_ready(in.frs2, now);
+    default:
+      SARIS_CHECK(false, "bad FP op " << op_name(in.op));
+  }
+}
+
+void FpSubsystem::tick(Cycle now) {
+  // ---- retire finished arithmetic ----
+  for (std::size_t i = 0; i < pipe_.size();) {
+    if (pipe_[i].done_at <= now) {
+      writeback(pipe_[i], now);
+      pipe_.erase(pipe_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+
+  // ---- issue at most one instruction, in order ----
+  if (queue_.empty()) {
+    ++perf_.fpu_idle_empty;
+    return;
+  }
+  const Instr in = queue_.front();
+
+  // Memory ops need the LSU port.
+  if (op_class(in.op) == OpClass::kFpMem) {
+    if (lsu_busy_ || !tcdm_.port_idle(lsu_port_)) {
+      ++perf_.fpu_stall_mem;
+      return;
+    }
+    if (in.op == Op::kFld) {
+      SARIS_CHECK(!(ssr_.enabled() && is_ssr_reg(in.frd)),
+                  "fld into an enabled stream register");
+      Addr a = 0;  // address comes via rs1 snapshot in imm2? — see Core.
+      a = static_cast<Addr>(in.target);  // Core pre-resolves the address.
+      tcdm_.post(lsu_port_, a, kWordBytes, /*is_write=*/false, 0);
+      lsu_busy_ = true;
+      lsu_is_load_ = true;
+      lsu_dest_ = in.frd;
+      freg_ready_[in.frd.idx] = ~static_cast<Cycle>(0);  // until data returns
+      ++perf_.fp_loads;
+    } else {
+      if (!operands_ready(in, now)) {
+        ++perf_.fpu_stall_operand;
+        return;
+      }
+      double v = read_src(in.frs2);
+      Addr a = static_cast<Addr>(in.target);
+      tcdm_.post(lsu_port_, a, kWordBytes, /*is_write=*/true, f64_to_bits(v));
+      lsu_busy_ = true;
+      lsu_is_load_ = false;
+      ++perf_.fp_stores;
+    }
+    queue_.pop();
+    ++perf_.fp_instrs;
+    return;
+  }
+
+  // Arithmetic / moves.
+  if (!operands_ready(in, now)) {
+    // Attribute the stall: SR FIFO empty vs scoreboard.
+    bool sr_block = false;
+    auto check_sr = [&](FReg r) {
+      if (ssr_.enabled() && is_ssr_reg(r) &&
+          !ssr_.lane(ssr_lane_of(r)).can_pop()) {
+        sr_block = true;
+      }
+    };
+    check_sr(in.frs1);
+    if (in.op != Op::kFsgnjD) check_sr(in.frs2);
+    if (in.op == Op::kFmaddD || in.op == Op::kFmsubD || in.op == Op::kFnmsubD) {
+      check_sr(in.frs3);
+    }
+    if (sr_block) {
+      ++perf_.fpu_stall_sr_empty;
+    } else {
+      ++perf_.fpu_stall_operand;
+    }
+    return;
+  }
+
+  const bool dst_is_sr = ssr_.enabled() && is_ssr_reg(in.frd) &&
+                         ssr_.lane(ssr_lane_of(in.frd)).is_write_stream();
+  if (dst_is_sr) {
+    if (!ssr_.lane(ssr_lane_of(in.frd)).can_reserve_push()) {
+      ++perf_.fpu_stall_sr_full;
+      return;
+    }
+  } else {
+    // In-order WAW guard on the architectural destination.
+    if (freg_ready_[in.frd.idx] > now) {
+      ++perf_.fpu_stall_operand;
+      return;
+    }
+  }
+
+  // All clear: pop sources (consuming SR elements) and start execution.
+  double a = 0.0, b = 0.0, c = 0.0, r = 0.0;
+  switch (in.op) {
+    case Op::kFaddD:
+      a = read_src(in.frs1);
+      b = read_src(in.frs2);
+      r = a + b;
+      break;
+    case Op::kFsubD:
+      a = read_src(in.frs1);
+      b = read_src(in.frs2);
+      r = a - b;
+      break;
+    case Op::kFmulD:
+      a = read_src(in.frs1);
+      b = read_src(in.frs2);
+      r = a * b;
+      break;
+    case Op::kFmaddD:
+      a = read_src(in.frs1);
+      b = read_src(in.frs2);
+      c = read_src(in.frs3);
+      r = a * b + c;
+      break;
+    case Op::kFmsubD:
+      a = read_src(in.frs1);
+      b = read_src(in.frs2);
+      c = read_src(in.frs3);
+      r = a * b - c;
+      break;
+    case Op::kFnmsubD:
+      a = read_src(in.frs1);
+      b = read_src(in.frs2);
+      c = read_src(in.frs3);
+      r = -(a * b) + c;
+      break;
+    case Op::kFsgnjD:
+      a = read_src(in.frs1);
+      r = a;
+      break;
+    default:
+      SARIS_CHECK(false, "unhandled FP op");
+  }
+
+  u32 lat =
+      (in.op == Op::kFsgnjD) ? kFpuMoveLatency : kFpuLatencyCycles;
+  if (dst_is_sr) {
+    ssr_.lane(ssr_lane_of(in.frd)).reserve_push();
+  } else {
+    freg_ready_[in.frd.idx] = now + lat;
+  }
+  pipe_.push_back(Inflight{in, now + lat, r});
+  queue_.pop();
+  ++perf_.fp_instrs;
+  perf_.fpu_useful_ops += is_useful_fpu_op(in.op) ? 1 : 0;
+  perf_.flops += flops_of(in.op);
+}
+
+void FpSubsystem::writeback(const Inflight& fin, Cycle /*now*/) {
+  const Instr& in = fin.in;
+  if (ssr_.enabled() && is_ssr_reg(in.frd) &&
+      ssr_.lane(ssr_lane_of(in.frd)).is_write_stream()) {
+    ssr_.lane(ssr_lane_of(in.frd)).push(fin.result);
+  } else {
+    fregs_[in.frd.idx] = fin.result;
+  }
+}
+
+bool FpSubsystem::drained() const {
+  return queue_.empty() && pipe_.empty() && !lsu_busy_;
+}
+
+}  // namespace saris

@@ -1,0 +1,57 @@
+#include "core/frep.hpp"
+
+#include "common/log.hpp"
+
+namespace saris {
+
+void FrepSequencer::start(u64 reps, u32 body_len, u32 stagger,
+                          u32 stagger_base) {
+  SARIS_CHECK(!busy(), "frep while sequencer busy (core must stall)");
+  SARIS_CHECK(reps >= 1, "frep with zero repetitions");
+  SARIS_CHECK(body_len >= 1 && body_len <= kFrepBufferDepth,
+              "frep body length " << body_len << " exceeds buffer of "
+                                  << kFrepBufferDepth);
+  SARIS_CHECK(stagger >= 1 && stagger <= 8, "bad frep stagger " << stagger);
+  buf_.clear();
+  to_capture_ = body_len;
+  reps_left_ = reps - 1;  // first iteration goes through the fetch path
+  pos_ = 0;
+  stagger_ = stagger;
+  stagger_base_ = stagger_base;
+  iter_ = 1;  // the fetch pass was iteration 0
+}
+
+void FrepSequencer::capture(const Instr& in) {
+  SARIS_CHECK(capturing(), "capture while not capturing");
+  SARIS_CHECK(op_class(in.op) == OpClass::kFpCompute,
+              "frep body must be FP compute instructions");
+  buf_.push_back(in);
+  --to_capture_;
+}
+
+Instr FrepSequencer::next() {
+  SARIS_CHECK(replaying(), "next() while not replaying");
+  Instr in = buf_[pos_];
+  if (stagger_ > 1) {
+    u8 off = static_cast<u8>(iter_ % stagger_);
+    auto rot = [&](FReg& r) {
+      if (r.idx >= stagger_base_) {
+        SARIS_CHECK(r.idx + off < kNumFRegs, "stagger past f31");
+        r.idx = static_cast<u8>(r.idx + off);
+      }
+    };
+    rot(in.frd);
+    rot(in.frs1);
+    rot(in.frs2);
+    rot(in.frs3);
+  }
+  ++pos_;
+  if (pos_ == buf_.size()) {
+    pos_ = 0;
+    --reps_left_;
+    ++iter_;
+  }
+  return in;
+}
+
+}  // namespace saris

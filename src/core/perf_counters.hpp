@@ -1,0 +1,42 @@
+// Per-core performance counters, extracted after simulation exactly like the
+// paper extracts utilization metrics from RTL simulation traces.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace saris {
+
+struct CorePerf {
+  // Retirement / issue counts.
+  u64 int_instrs = 0;      ///< instructions executed by the integer core
+  u64 fp_instrs = 0;       ///< instructions issued by the FPU (incl. FREP replays)
+  u64 fpu_useful_ops = 0;  ///< FPU issues doing useful compute (flops > 0)
+  u64 flops = 0;           ///< double-precision FLOPs performed
+  u64 fp_loads = 0;
+  u64 fp_stores = 0;
+
+  // Integer-core stall cycles by cause.
+  u64 stall_icache = 0;
+  u64 stall_fpu_queue_full = 0;
+  u64 stall_seq_busy = 0;    ///< FP fetch blocked on active FREP sequencer
+  u64 stall_scfg_busy = 0;   ///< scfgwi waiting for a busy SSR lane to drain
+  u64 stall_branch = 0;      ///< taken-branch bubbles
+  u64 stall_barrier = 0;
+  u64 stall_int_lsu = 0;     ///< integer load/store port busy or data wait
+  u64 stall_halt_drain = 0;  ///< halt waiting for FPU/SSR drain
+
+  // FPU-side stall cycles by cause (cycles where the FPU could not issue).
+  u64 fpu_stall_operand = 0;   ///< scoreboard RAW/WAW
+  u64 fpu_stall_sr_empty = 0;  ///< SR read FIFO empty
+  u64 fpu_stall_sr_full = 0;   ///< SR write FIFO full
+  u64 fpu_stall_mem = 0;       ///< FP LSU busy
+  u64 fpu_idle_empty = 0;      ///< nothing enqueued
+
+  // Lifecycle.
+  bool halted = false;
+  Cycle halted_at = 0;
+
+  u64 total_instrs() const { return int_instrs + fp_instrs; }
+};
+
+}  // namespace saris

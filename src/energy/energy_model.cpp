@@ -1,0 +1,44 @@
+#include "energy/energy_model.hpp"
+
+#include "common/log.hpp"
+
+namespace saris {
+
+PowerReport estimate_power(const RunMetrics& m, u64 interior_points,
+                           const EnergyParams& p) {
+  SARIS_CHECK(m.cycles > 0, "metrics not populated");
+  double pj = 0.0;
+  u64 fp_arith = m.fpu_useful_ops;
+  u64 fp_mem = m.fp_loads + m.fp_stores;
+  u64 fp_moves = m.fp_instrs - fp_arith - fp_mem;
+  pj += static_cast<double>(m.int_instrs) * p.pj_int_op;
+  pj += static_cast<double>(fp_arith) * p.pj_fpu_op;
+  pj += static_cast<double>(fp_moves) * p.pj_fp_move;
+  pj += static_cast<double>(fp_mem) * p.pj_fp_mem;
+  pj += static_cast<double>(m.tcdm_accesses) * p.pj_tcdm_access;
+  pj += static_cast<double>(m.icache_hits + m.icache_misses) *
+        p.pj_icache_fetch;
+  pj += static_cast<double>(m.icache_misses) * p.pj_icache_miss;
+  pj += static_cast<double>(m.ssr_elems) * p.pj_ssr_elem;
+  pj += static_cast<double>(m.dma_bytes) * p.pj_dma_byte;
+  for (Cycle busy : m.core_busy) {
+    pj += static_cast<double>(busy) * p.pj_core_cycle;
+  }
+
+  PowerReport r;
+  double seconds = static_cast<double>(m.cycles) / (p.freq_ghz * 1e9);
+  double dyn_w = pj * 1e-12 / seconds;
+  r.dynamic_mw = dyn_w * 1e3;
+  r.static_mw = p.mw_static;
+  r.total_mw = r.dynamic_mw + r.static_mw;
+  r.energy_uj = (pj * 1e-12 + p.mw_static * 1e-3 * seconds) * 1e6;
+  r.uj_per_point = r.energy_uj / static_cast<double>(interior_points);
+  return r;
+}
+
+double efficiency_gain(const PowerReport& base, const PowerReport& saris) {
+  SARIS_CHECK(saris.uj_per_point > 0.0, "bad saris energy");
+  return base.uj_per_point / saris.uj_per_point;
+}
+
+}  // namespace saris

@@ -1,0 +1,98 @@
+#include "isa/disasm.hpp"
+
+#include <sstream>
+
+namespace saris {
+
+namespace {
+std::string xr(XReg r) { return "x" + std::to_string(r.idx); }
+std::string fr(FReg r) {
+  if (r.idx < 3) return "ft" + std::to_string(r.idx);
+  return "f" + std::to_string(r.idx);
+}
+}  // namespace
+
+std::string disasm(const Instr& in) {
+  std::ostringstream os;
+  os << op_name(in.op) << " ";
+  switch (in.op) {
+    case Op::kAddi:
+    case Op::kSlli:
+    case Op::kSrli:
+    case Op::kAndi:
+      os << xr(in.rd) << ", " << xr(in.rs1) << ", " << in.imm;
+      break;
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+      os << xr(in.rd) << ", " << xr(in.rs1) << ", " << xr(in.rs2);
+      break;
+    case Op::kLui:
+      os << xr(in.rd) << ", " << in.imm;
+      break;
+    case Op::kLw:
+    case Op::kLh:
+      os << xr(in.rd) << ", " << in.imm << "(" << xr(in.rs1) << ")";
+      break;
+    case Op::kSw:
+    case Op::kSh:
+      os << xr(in.rs2) << ", " << in.imm << "(" << xr(in.rs1) << ")";
+      break;
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlt:
+    case Op::kBge:
+      os << xr(in.rs1) << ", " << xr(in.rs2) << ", @" << in.target;
+      break;
+    case Op::kJal:
+      os << "@" << in.target;
+      break;
+    case Op::kFaddD:
+    case Op::kFsubD:
+    case Op::kFmulD:
+      os << fr(in.frd) << ", " << fr(in.frs1) << ", " << fr(in.frs2);
+      break;
+    case Op::kFmaddD:
+    case Op::kFmsubD:
+    case Op::kFnmsubD:
+      os << fr(in.frd) << ", " << fr(in.frs1) << ", " << fr(in.frs2) << ", "
+         << fr(in.frs3);
+      break;
+    case Op::kFsgnjD:
+      os << fr(in.frd) << ", " << fr(in.frs1);
+      break;
+    case Op::kFld:
+      os << fr(in.frd) << ", " << in.imm << "(" << xr(in.rs1) << ")";
+      break;
+    case Op::kFsd:
+      os << fr(in.frs2) << ", " << in.imm << "(" << xr(in.rs1) << ")";
+      break;
+    case Op::kFrep:
+      os << xr(in.rs1) << ", body=" << frep_body_len(in.imm);
+      if (frep_stagger(in.imm) > 1) {
+        os << ", stagger=" << frep_stagger(in.imm) << "@f"
+           << frep_stagger_base(in.imm);
+      }
+      break;
+    case Op::kScfgwi:
+      os << xr(in.rs1) << ", lane=" << (in.imm / 256)
+         << ", word=" << (in.imm % 256);
+      break;
+    case Op::kCsrrCycle:
+      os << xr(in.rd);
+      break;
+    default:
+      break;
+  }
+  return os.str();
+}
+
+std::string disasm(const Program& p) {
+  std::ostringstream os;
+  for (u32 i = 0; i < p.size(); ++i) {
+    os << i << ":\t" << disasm(p.at(i)) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace saris

@@ -1,0 +1,14 @@
+// Human-readable printing of IR instructions and programs (debugging,
+// examples, and the Listing-1 instruction-mix bench).
+#pragma once
+
+#include <string>
+
+#include "isa/program.hpp"
+
+namespace saris {
+
+std::string disasm(const Instr& in);
+std::string disasm(const Program& p);
+
+}  // namespace saris

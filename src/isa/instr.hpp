@@ -1,0 +1,38 @@
+// Instruction IR: one record per instruction, fields used depend on opcode.
+#pragma once
+
+#include "isa/opcode.hpp"
+#include "isa/reg.hpp"
+
+namespace saris {
+
+/// One IR instruction. Branch targets are program indices (resolved labels).
+struct Instr {
+  Op op = Op::kNop;
+  // Integer operands.
+  XReg rd{};   ///< int destination (kAddi, kLw, ...)
+  XReg rs1{};  ///< int source 1 / address base / frep rep count / scfgwi value
+  XReg rs2{};  ///< int source 2 / store data
+  // FP operands.
+  FReg frd{};   ///< FP destination
+  FReg frs1{};  ///< FP source 1
+  FReg frs2{};  ///< FP source 2
+  FReg frs3{};  ///< FP source 3 (FMA family)
+  /// Immediate: ALU immediate, memory offset (bytes), frep encoding (see
+  /// below), or scfgwi selector (lane*256 + config word index).
+  i32 imm = 0;
+  /// Branch/jump target as program index (filled by label resolution).
+  u32 target = 0;
+};
+
+/// frep immediate encoding: body length [7:0], stagger count [15:8],
+/// stagger base register [23:16].
+inline u32 frep_body_len(i32 imm) { return static_cast<u32>(imm) & 0xFF; }
+inline u32 frep_stagger(i32 imm) {
+  return (static_cast<u32>(imm) >> 8) & 0xFF;
+}
+inline u32 frep_stagger_base(i32 imm) {
+  return (static_cast<u32>(imm) >> 16) & 0xFF;
+}
+
+}  // namespace saris

@@ -1,0 +1,108 @@
+#include "isa/opcode.hpp"
+
+#include "common/log.hpp"
+
+namespace saris {
+
+OpClass op_class(Op op) {
+  switch (op) {
+    case Op::kAddi:
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kLui:
+    case Op::kSlli:
+    case Op::kSrli:
+    case Op::kAndi:
+    case Op::kMul:
+      return OpClass::kInt;
+    case Op::kLw:
+    case Op::kSw:
+    case Op::kLh:
+    case Op::kSh:
+      return OpClass::kIntMem;
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlt:
+    case Op::kBge:
+    case Op::kJal:
+      return OpClass::kBranch;
+    case Op::kFaddD:
+    case Op::kFsubD:
+    case Op::kFmulD:
+    case Op::kFmaddD:
+    case Op::kFmsubD:
+    case Op::kFnmsubD:
+    case Op::kFsgnjD:
+      return OpClass::kFpCompute;
+    case Op::kFld:
+    case Op::kFsd:
+      return OpClass::kFpMem;
+    case Op::kFrep:
+    case Op::kScfgwi:
+    case Op::kSsrEn:
+    case Op::kSsrDis:
+    case Op::kBarrier:
+    case Op::kCsrrCycle:
+    case Op::kHalt:
+    case Op::kNop:
+      return OpClass::kSys;
+  }
+  SARIS_CHECK(false, "unknown opcode " << static_cast<int>(op));
+}
+
+std::string_view op_name(Op op) {
+  switch (op) {
+    case Op::kAddi: return "addi";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kLui: return "lui";
+    case Op::kSlli: return "slli";
+    case Op::kSrli: return "srli";
+    case Op::kAndi: return "andi";
+    case Op::kMul: return "mul";
+    case Op::kLw: return "lw";
+    case Op::kSw: return "sw";
+    case Op::kLh: return "lh";
+    case Op::kSh: return "sh";
+    case Op::kBeq: return "beq";
+    case Op::kBne: return "bne";
+    case Op::kBlt: return "blt";
+    case Op::kBge: return "bge";
+    case Op::kJal: return "jal";
+    case Op::kHalt: return "halt";
+    case Op::kFaddD: return "fadd.d";
+    case Op::kFsubD: return "fsub.d";
+    case Op::kFmulD: return "fmul.d";
+    case Op::kFmaddD: return "fmadd.d";
+    case Op::kFmsubD: return "fmsub.d";
+    case Op::kFnmsubD: return "fnmsub.d";
+    case Op::kFsgnjD: return "fmv.d";
+    case Op::kFld: return "fld";
+    case Op::kFsd: return "fsd";
+    case Op::kFrep: return "frep.o";
+    case Op::kScfgwi: return "scfgwi";
+    case Op::kSsrEn: return "ssr_en";
+    case Op::kSsrDis: return "ssr_dis";
+    case Op::kBarrier: return "barrier";
+    case Op::kCsrrCycle: return "csrr.cycle";
+    case Op::kNop: return "nop";
+  }
+  return "?";
+}
+
+u32 flops_of(Op op) {
+  switch (op) {
+    case Op::kFaddD:
+    case Op::kFsubD:
+    case Op::kFmulD:
+      return 1;
+    case Op::kFmaddD:
+    case Op::kFmsubD:
+    case Op::kFnmsubD:
+      return 2;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace saris

@@ -1,0 +1,81 @@
+// Opcode set of the simulator's instruction IR.
+//
+// This is a compact RV32G-subset plus the Snitch extensions the paper uses:
+//  - FREP (hardware loop over offloaded FP instructions),
+//  - scfgwi-style SSR configuration writes,
+//  - SSR enable/disable CSR accesses.
+// Instructions are interpreted; we never encode to binary.
+#pragma once
+
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace saris {
+
+enum class Op : u16 {
+  // ---- integer ALU ----
+  kAddi,   // rd = rs1 + imm
+  kAdd,    // rd = rs1 + rs2
+  kSub,    // rd = rs1 - rs2
+  kLui,    // rd = imm << 12
+  kSlli,   // rd = rs1 << imm
+  kSrli,   // rd = rs1 >> imm (logical)
+  kAndi,   // rd = rs1 & imm
+  kMul,    // rd = rs1 * rs2 (M ext; used by index init)
+  // ---- integer memory (TCDM) ----
+  kLw,     // rd = mem32[rs1 + imm]
+  kSw,     // mem32[rs1 + imm] = rs2
+  kLh,     // rd = sext(mem16[rs1 + imm])
+  kSh,     // mem16[rs1 + imm] = rs2[15:0]
+  // ---- control flow ----
+  kBeq,    // if rs1 == rs2 goto label
+  kBne,
+  kBlt,    // signed
+  kBge,
+  kJal,    // unconditional jump (rd unused in our kernels)
+  kHalt,   // core is done (models return to the runtime)
+  // ---- FP compute (double precision) ----
+  kFaddD,  // frd = frs1 + frs2
+  kFsubD,
+  kFmulD,
+  kFmaddD,   // frd = frs1 * frs2 + frs3
+  kFmsubD,   // frd = frs1 * frs2 - frs3
+  kFnmsubD,  // frd = -(frs1 * frs2) + frs3
+  kFsgnjD,   // frd = frs1 (move)
+  // ---- FP memory ----
+  kFld,    // frd = mem64[rs1 + imm]
+  kFsd,    // mem64[rs1 + imm] = frs2
+  // ---- Snitch extensions ----
+  kFrep,     // hardware loop: repeat next `imm` FP instrs, reps = xrs1
+  kScfgwi,   // SSR config write: lane/word selected by imm, value = xrs1
+  kSsrEn,    // csrsi ssr: enable stream semantics on f0..f2
+  kSsrDis,   // csrci ssr: disable stream semantics
+  // ---- cluster runtime ----
+  kBarrier,  // cluster hardware barrier
+  kCsrrCycle,  // rd = current cycle (mcycle), for in-kernel timing
+  kNop,
+};
+
+/// Functional class used by the core's dispatch logic.
+enum class OpClass { kInt, kIntMem, kBranch, kFpCompute, kFpMem, kSys };
+
+OpClass op_class(Op op);
+std::string_view op_name(Op op);
+
+/// True for ops executed by the FP subsystem (offloaded on Snitch).
+inline bool is_fp_op(Op op) {
+  OpClass c = op_class(op);
+  return c == OpClass::kFpCompute || c == OpClass::kFpMem;
+}
+
+/// Number of floating-point operations contributed to FLOP counts.
+/// (FMA-family ops count as 2, moves/loads as 0 — matches the paper's
+/// per-point FLOP accounting in Table 1.)
+u32 flops_of(Op op);
+
+/// True for FP ops that occupy the FPU datapath doing *useful* compute
+/// (the paper's FPU-utilization numerator; excludes loads/stores/moves).
+inline bool is_useful_fpu_op(Op op) { return flops_of(op) > 0; }
+
+}  // namespace saris

@@ -1,0 +1,43 @@
+// Architectural register names for the ISA IR.
+//
+// Integer registers follow RV32 conventions (x0 hardwired to zero). FP
+// registers f0..f2 double as stream registers ft0/ft1/ft2 when SSR streaming
+// is enabled, exactly as on Snitch with SSSRs.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace saris {
+
+inline constexpr u32 kNumXRegs = 32;
+inline constexpr u32 kNumFRegs = 32;
+
+/// Integer register index, 0..31; x0 reads as zero and ignores writes.
+struct XReg {
+  u8 idx = 0;
+  constexpr bool operator==(const XReg&) const = default;
+};
+
+/// FP register index, 0..31.
+struct FReg {
+  u8 idx = 0;
+  constexpr bool operator==(const FReg&) const = default;
+};
+
+inline constexpr XReg x(u8 i) { return XReg{i}; }
+inline constexpr FReg f(u8 i) { return FReg{i}; }
+
+inline constexpr XReg kZero = x(0);
+
+/// The three stream-capable FP registers on Snitch/SSSR.
+inline constexpr FReg kFt0 = f(0);  ///< indirection-capable SR 0
+inline constexpr FReg kFt1 = f(1);  ///< indirection-capable SR 1
+inline constexpr FReg kFt2 = f(2);  ///< affine SR 2
+
+inline constexpr u32 kNumSsrLanes = 3;
+
+/// True iff `r` maps to a stream register lane when SSRs are enabled.
+inline constexpr bool is_ssr_reg(FReg r) { return r.idx < kNumSsrLanes; }
+inline constexpr u32 ssr_lane_of(FReg r) { return r.idx; }
+
+}  // namespace saris

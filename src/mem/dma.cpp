@@ -1,0 +1,128 @@
+#include "mem/dma.hpp"
+
+#include "common/log.hpp"
+
+namespace saris {
+
+Dma::Dma(Tcdm& tcdm, MainMemory& mem)
+    : tcdm_(tcdm), mem_(mem), jobs_(kDmaJobQueueDepth) {
+  u32 lanes = kDmaWidthBytes / kWordBytes;
+  for (u32 i = 0; i < lanes; ++i) {
+    ports_.push_back(tcdm_.make_port("dma" + std::to_string(i)));
+    out_.push_back(Outstanding{});
+  }
+}
+
+void Dma::push(const DmaJob& job) {
+  SARIS_CHECK(job.row_bytes > 0 && job.row_bytes % kWordBytes == 0,
+              "DMA row_bytes must be a positive multiple of 8");
+  SARIS_CHECK(job.tcdm_addr % kWordBytes == 0 &&
+                  job.mem_addr % kWordBytes == 0,
+              "DMA addresses must be 8-byte aligned");
+  SARIS_CHECK(job.rows >= 1 && job.planes >= 1, "DMA shape degenerate");
+  jobs_.push(job);
+}
+
+bool Dma::idle() const { return !job_active_ && jobs_.empty(); }
+
+void Dma::start_next_row() { overhead_left_ = kDmaRowOverheadCycles; }
+
+bool Dma::advance_row_cursor() {
+  row_pos_ = 0;
+  ++cur_row_;
+  if (cur_row_ >= cur_.rows) {
+    cur_row_ = 0;
+    ++cur_plane_;
+    if (cur_plane_ >= cur_.planes) return false;
+  }
+  start_next_row();
+  return true;
+}
+
+void Dma::tick(Cycle /*now*/) {
+  // Phase 1: retire responses from last cycle's arbitration.
+  for (u32 i = 0; i < ports_.size(); ++i) {
+    if (out_[i].in_flight && tcdm_.response_ready(ports_[i])) {
+      u64 data = tcdm_.take_response(ports_[i]);
+      if (!out_[i].to_tcdm) {
+        mem_.write(out_[i].mem_addr, &data, kWordBytes);
+      }
+      out_[i].in_flight = false;
+      SARIS_CHECK(words_outstanding_ > 0, "DMA outstanding underflow");
+      --words_outstanding_;
+    }
+  }
+
+  // Phase 2: job bookkeeping.
+  if (!job_active_) {
+    if (jobs_.empty()) return;
+    cur_ = jobs_.pop();
+    job_active_ = true;
+    issuing_done_ = false;
+    cur_row_ = 0;
+    cur_plane_ = 0;
+    row_pos_ = 0;
+    start_next_row();
+  }
+  ++active_cycles_;
+
+  if (issuing_done_) {
+    if (words_outstanding_ == 0) job_active_ = false;
+    return;
+  }
+
+  if (overhead_left_ > 0) {
+    --overhead_left_;
+    return;
+  }
+
+  // Phase 3: issue up to one full datapath width of word ops for this row.
+  u32 issued_bytes = 0;
+  for (u32 i = 0; i < ports_.size(); ++i) {
+    if (row_pos_ >= cur_.row_bytes) break;
+    if (issued_bytes >= kDmaWidthBytes) break;
+    if (out_[i].in_flight || !tcdm_.port_idle(ports_[i])) continue;
+
+    Addr taddr = cur_.tcdm_addr +
+                 static_cast<i64>(cur_.tcdm_plane_stride) * cur_plane_ +
+                 static_cast<i64>(cur_.tcdm_row_stride) * cur_row_ + row_pos_;
+    u64 maddr = cur_.mem_addr + cur_.mem_plane_stride * cur_plane_ +
+                cur_.mem_row_stride * cur_row_ + row_pos_;
+
+    if (cur_.to_tcdm) {
+      u64 data = 0;
+      mem_.read(maddr, &data, kWordBytes);
+      tcdm_.post(ports_[i], taddr, kWordBytes, /*is_write=*/true, data);
+    } else {
+      tcdm_.post(ports_[i], taddr, kWordBytes, /*is_write=*/false, 0);
+    }
+    out_[i] = Outstanding{true, cur_.to_tcdm, maddr};
+    ++words_outstanding_;
+    row_pos_ += kWordBytes;
+    issued_bytes += kWordBytes;
+    bytes_moved_ += kWordBytes;
+  }
+
+  // Phase 4: advance to the next row once it is fully issued (outstanding
+  // words drain in the background — rows pipeline across the per-row setup
+  // overhead); the job finishes when the last row has drained.
+  if (row_pos_ >= cur_.row_bytes) {
+    if (!advance_row_cursor()) {
+      issuing_done_ = true;
+      if (words_outstanding_ == 0) job_active_ = false;
+    }
+  }
+}
+
+double Dma::bandwidth_utilization() const {
+  if (active_cycles_ == 0) return 0.0;
+  return static_cast<double>(bytes_moved_) /
+         (static_cast<double>(active_cycles_) * kDmaWidthBytes);
+}
+
+void Dma::reset_stats() {
+  bytes_moved_ = 0;
+  active_cycles_ = 0;
+}
+
+}  // namespace saris

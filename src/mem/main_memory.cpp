@@ -1,0 +1,29 @@
+#include "mem/main_memory.hpp"
+
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace saris {
+
+MainMemory::MainMemory(u64 size_bytes) : mem_(size_bytes, 0) {}
+
+void MainMemory::write(u64 addr, const void* src, u64 len) {
+  SARIS_CHECK(addr + len <= mem_.size(), "main memory write out of range");
+  std::memcpy(mem_.data() + addr, src, len);
+}
+
+void MainMemory::read(u64 addr, void* dst, u64 len) const {
+  SARIS_CHECK(addr + len <= mem_.size(), "main memory read out of range");
+  std::memcpy(dst, mem_.data() + addr, len);
+}
+
+double MainMemory::read_f64(u64 addr) const {
+  double v;
+  read(addr, &v, 8);
+  return v;
+}
+
+void MainMemory::write_f64(u64 addr, double v) { write(addr, &v, 8); }
+
+}  // namespace saris

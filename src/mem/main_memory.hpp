@@ -1,0 +1,27 @@
+// Flat main-memory model. It has no cycle-level behaviour of its own: all
+// timed traffic to it flows through the DMA engine, which models bandwidth
+// and per-burst overheads. Hosts grids between tile transfers.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace saris {
+
+class MainMemory {
+ public:
+  explicit MainMemory(u64 size_bytes);
+
+  void write(u64 addr, const void* src, u64 len);
+  void read(u64 addr, void* dst, u64 len) const;
+  double read_f64(u64 addr) const;
+  void write_f64(u64 addr, double v);
+
+  u64 size_bytes() const { return static_cast<u64>(mem_.size()); }
+
+ private:
+  std::vector<u8> mem_;
+};
+
+}  // namespace saris

@@ -1,0 +1,144 @@
+#include "mem/tcdm.hpp"
+
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace saris {
+
+Tcdm::Tcdm(u32 size_bytes, u32 num_banks)
+    : mem_(size_bytes, 0), num_banks_(num_banks), rr_next_(num_banks, 0) {
+  SARIS_CHECK(size_bytes % (num_banks * kWordBytes) == 0,
+              "TCDM size must be a multiple of the bank row");
+}
+
+u32 Tcdm::make_port(std::string name) {
+  ports_.push_back(Port{});
+  ports_.back().name = std::move(name);
+  return static_cast<u32>(ports_.size() - 1);
+}
+
+bool Tcdm::port_idle(u32 port) const {
+  SARIS_CHECK(port < ports_.size(), "bad port " << port);
+  const Port& p = ports_[port];
+  return !p.pending && !p.resp_ready;
+}
+
+void Tcdm::post(u32 port, Addr addr, u32 size, bool is_write, u64 wdata) {
+  SARIS_CHECK(port < ports_.size(), "bad port " << port);
+  Port& p = ports_[port];
+  SARIS_CHECK(!p.pending && !p.resp_ready,
+              "post to busy port " << p.name);
+  SARIS_CHECK(size == 2 || size == 4 || size == 8, "bad access size " << size);
+  SARIS_CHECK(addr % size == 0, "unaligned access at " << addr);
+  SARIS_CHECK(addr + size <= mem_.size(),
+              "TCDM access out of range: " << addr << "+" << size);
+  p.pending = true;
+  p.addr = addr;
+  p.size = size;
+  p.is_write = is_write;
+  p.wdata = wdata;
+}
+
+u64 Tcdm::do_access(Port& p) {
+  u64 rdata = 0;
+  if (p.is_write) {
+    std::memcpy(mem_.data() + p.addr, &p.wdata, p.size);
+  } else {
+    std::memcpy(&rdata, mem_.data() + p.addr, p.size);
+  }
+  return rdata;
+}
+
+void Tcdm::arbitrate(Cycle /*now*/) {
+  // Gather pending requests per bank, grant one per bank round-robin.
+  for (u32 bank = 0; bank < num_banks_; ++bank) {
+    u32 n = num_ports();
+    if (n == 0) continue;
+    u32 winner = n;  // sentinel: none
+    for (u32 k = 0; k < n; ++k) {
+      u32 cand = (rr_next_[bank] + k) % n;
+      const Port& p = ports_[cand];
+      if (p.pending && bank_of(p.addr) == bank) {
+        winner = cand;
+        break;
+      }
+    }
+    if (winner == n) continue;
+    // Count the losers on this bank as conflicts this cycle.
+    for (u32 cand = 0; cand < n; ++cand) {
+      Port& p = ports_[cand];
+      if (cand != winner && p.pending && bank_of(p.addr) == bank) {
+        ++p.conflicts;
+        ++total_conflicts_;
+      }
+    }
+    Port& w = ports_[winner];
+    w.rdata = do_access(w);
+    w.pending = false;
+    w.resp_ready = true;
+    ++w.accesses;
+    ++total_accesses_;
+    rr_next_[bank] = (winner + 1) % n;
+  }
+}
+
+bool Tcdm::response_ready(u32 port) const {
+  SARIS_CHECK(port < ports_.size(), "bad port " << port);
+  return ports_[port].resp_ready;
+}
+
+u64 Tcdm::take_response(u32 port) {
+  SARIS_CHECK(port < ports_.size(), "bad port " << port);
+  Port& p = ports_[port];
+  SARIS_CHECK(p.resp_ready, "no response on port " << p.name);
+  p.resp_ready = false;
+  return p.rdata;
+}
+
+void Tcdm::host_write(Addr addr, const void* src, u32 len) {
+  SARIS_CHECK(addr + len <= mem_.size(), "host_write out of range");
+  std::memcpy(mem_.data() + addr, src, len);
+}
+
+void Tcdm::host_read(Addr addr, void* dst, u32 len) const {
+  SARIS_CHECK(addr + len <= mem_.size(), "host_read out of range");
+  std::memcpy(dst, mem_.data() + addr, len);
+}
+
+u64 Tcdm::host_read_u64(Addr addr) const {
+  u64 v;
+  host_read(addr, &v, 8);
+  return v;
+}
+
+void Tcdm::host_write_u64(Addr addr, u64 v) { host_write(addr, &v, 8); }
+
+double Tcdm::host_read_f64(Addr addr) const {
+  double v;
+  host_read(addr, &v, 8);
+  return v;
+}
+
+void Tcdm::host_write_f64(Addr addr, double v) { host_write(addr, &v, 8); }
+
+u64 Tcdm::port_conflicts(u32 port) const {
+  SARIS_CHECK(port < ports_.size(), "bad port");
+  return ports_[port].conflicts;
+}
+
+u64 Tcdm::port_accesses(u32 port) const {
+  SARIS_CHECK(port < ports_.size(), "bad port");
+  return ports_[port].accesses;
+}
+
+void Tcdm::reset_stats() {
+  total_accesses_ = 0;
+  total_conflicts_ = 0;
+  for (Port& p : ports_) {
+    p.accesses = 0;
+    p.conflicts = 0;
+  }
+}
+
+}  // namespace saris

@@ -1,0 +1,86 @@
+// Tightly coupled data memory (TCDM) model.
+//
+// 128 KiB across 32 banks of 64-bit words, single-cycle access, per-bank
+// round-robin arbitration among requester ports — matching the Snitch
+// cluster's memory subsystem at the fidelity needed to reproduce bank-
+// conflict behaviour. Requesters obtain a port, post at most one request per
+// cycle, and receive the response at the start of the next cycle. A request
+// that loses arbitration stays pending and retries automatically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace saris {
+
+inline constexpr u32 kTcdmSizeBytes = 128 * 1024;
+inline constexpr u32 kTcdmBanks = 32;
+
+class Tcdm {
+ public:
+  Tcdm(u32 size_bytes = kTcdmSizeBytes, u32 num_banks = kTcdmBanks);
+
+  /// Register a requester; returns its port id. `name` is for diagnostics.
+  u32 make_port(std::string name);
+  u32 num_ports() const { return static_cast<u32>(ports_.size()); }
+
+  /// True iff the port has neither a pending request nor an unread response.
+  bool port_idle(u32 port) const;
+
+  /// Post a request (port must be idle). `size` in {2,4,8} bytes; accesses
+  /// must not cross a 64-bit word boundary (they never do in our kernels).
+  void post(u32 port, Addr addr, u32 size, bool is_write, u64 wdata);
+
+  /// Resolve this cycle's arbitration; at most one grant per bank.
+  void arbitrate(Cycle now);
+
+  /// Response interface (valid from the cycle after the grant).
+  bool response_ready(u32 port) const;
+  u64 take_response(u32 port);
+
+  // ---- zero-time host access (test setup, verification, DMA data path) ----
+  void host_write(Addr addr, const void* src, u32 len);
+  void host_read(Addr addr, void* dst, u32 len) const;
+  u64 host_read_u64(Addr addr) const;
+  void host_write_u64(Addr addr, u64 v);
+  double host_read_f64(Addr addr) const;
+  void host_write_f64(Addr addr, double v);
+
+  u32 size_bytes() const { return static_cast<u32>(mem_.size()); }
+  u32 num_banks() const { return num_banks_; }
+  u32 bank_of(Addr addr) const { return (addr / kWordBytes) % num_banks_; }
+
+  // ---- statistics ----
+  u64 total_accesses() const { return total_accesses_; }
+  u64 total_conflicts() const { return total_conflicts_; }
+  u64 port_conflicts(u32 port) const;
+  u64 port_accesses(u32 port) const;
+  void reset_stats();
+
+ private:
+  struct Port {
+    std::string name;
+    bool pending = false;
+    bool resp_ready = false;
+    Addr addr = 0;
+    u32 size = 0;
+    bool is_write = false;
+    u64 wdata = 0;
+    u64 rdata = 0;
+    u64 accesses = 0;
+    u64 conflicts = 0;
+  };
+
+  u64 do_access(Port& p);
+
+  std::vector<u8> mem_;
+  u32 num_banks_;
+  std::vector<Port> ports_;
+  std::vector<u32> rr_next_;  ///< per-bank round-robin pointer
+  u64 total_accesses_ = 0;
+  u64 total_conflicts_ = 0;
+};
+
+}  // namespace saris

@@ -1,0 +1,40 @@
+#include "report/csv.hpp"
+
+#include "common/log.hpp"
+
+namespace saris {
+
+namespace {
+std::string escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::vector<std::string> headers)
+    : out_(path), width_(headers.size()) {
+  ok_ = out_.good();
+  if (!ok_) return;
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    out_ << (i ? "," : "") << escape(headers[i]);
+  }
+  out_ << "\n";
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  if (!ok_) return;
+  SARIS_CHECK(cells.size() == width_, "csv row width mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    out_ << (i ? "," : "") << escape(cells[i]);
+  }
+  out_ << "\n";
+}
+
+}  // namespace saris

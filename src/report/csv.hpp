@@ -1,0 +1,25 @@
+// Minimal CSV writer: benches drop machine-readable copies of every figure
+// series next to the human-readable tables.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace saris {
+
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, std::vector<std::string> headers);
+  void add_row(const std::vector<std::string>& cells);
+  /// Whether the file opened successfully (benches treat failure as
+  /// non-fatal: stdout output is the primary artifact).
+  bool ok() const { return ok_; }
+
+ private:
+  std::ofstream out_;
+  bool ok_ = false;
+  std::size_t width_;
+};
+
+}  // namespace saris

@@ -1,0 +1,24 @@
+// Fixed-width ASCII table formatting used by all benches so their output
+// mirrors the paper's tables/figure data series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace saris {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  std::string str() const;
+
+  static std::string fmt(double v, int precision = 2);
+  static std::string pct(double v, int precision = 0);  ///< 0.81 -> "81%"
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace saris

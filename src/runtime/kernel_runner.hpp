@@ -1,0 +1,51 @@
+// Kernel runner: the host-side driver that stages a tile in TCDM, generates
+// and loads per-core programs for one variant, runs the cluster cycle loop
+// with steady-state DMA traffic overlapped (double-buffering interference),
+// and verifies the simulated output against the golden reference.
+#pragma once
+
+#include "cluster/cluster.hpp"
+#include "codegen/options.hpp"
+#include "runtime/metrics.hpp"
+#include "stencil/grid.hpp"
+#include "stencil/stencil_def.hpp"
+
+namespace saris {
+
+enum class KernelVariant { kBase, kSaris };
+
+const char* variant_name(KernelVariant v);
+
+struct RunConfig {
+  KernelVariant variant = KernelVariant::kSaris;
+  CodegenOptions cg{};
+  bool overlap_dma = true;  ///< model steady-state double-buffered DMA
+  bool verify = true;
+  bool record_timeline = false;  ///< fill RunMetrics::fpu_timeline
+  u64 seed = 1;
+  double tolerance = 1e-11;  ///< max relative error accepted (reassociation)
+};
+
+/// User-supplied kernel data: input grids (inputs[0] = current time step)
+/// and coefficients in; the computed tile comes back in `output`.
+struct KernelIO {
+  std::vector<Grid<double>> inputs;
+  std::vector<double> coeffs;
+  std::vector<Grid<double>> outputs;  ///< filled by the run (one grid)
+};
+
+/// Run one time iteration of `sc` over caller-provided data (examples use
+/// this to step simulations); verification is against the golden reference
+/// computed from the same data.
+RunMetrics run_kernel_io(const StencilCode& sc, const RunConfig& cfg,
+                         KernelIO& io);
+
+/// Run one time iteration of `sc` on a fresh cluster with seeded
+/// pseudo-random data; aborts on verification failure beyond the tolerance.
+RunMetrics run_kernel(const StencilCode& sc, const RunConfig& cfg);
+
+/// Convenience: run both variants and return {base, saris}.
+std::pair<RunMetrics, RunMetrics> run_both(const StencilCode& sc,
+                                           u64 seed = 1);
+
+}  // namespace saris

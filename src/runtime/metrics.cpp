@@ -1,0 +1,35 @@
+#include "runtime/metrics.hpp"
+
+#include "common/log.hpp"
+#include "common/stats.hpp"
+
+namespace saris {
+
+double RunMetrics::fpu_util() const {
+  SARIS_CHECK(cycles > 0 && !per_core.empty(), "metrics not populated");
+  return static_cast<double>(fpu_useful_ops) /
+         (static_cast<double>(cycles) * num_cores());
+}
+
+double RunMetrics::ipc() const {
+  SARIS_CHECK(cycles > 0 && !per_core.empty(), "metrics not populated");
+  double sum = 0.0;
+  for (const CorePerf& p : per_core) {
+    sum += static_cast<double>(p.total_instrs()) / static_cast<double>(cycles);
+  }
+  return sum / num_cores();
+}
+
+double RunMetrics::frac_peak() const {
+  SARIS_CHECK(cycles > 0 && !per_core.empty(), "metrics not populated");
+  return static_cast<double>(flops) /
+         (2.0 * static_cast<double>(cycles) * num_cores());
+}
+
+double RunMetrics::imbalance() const {
+  std::vector<double> busy;
+  for (Cycle c : core_busy) busy.push_back(static_cast<double>(c));
+  return imbalance_ratio(busy);
+}
+
+}  // namespace saris

@@ -1,0 +1,53 @@
+// Cycle-state tracing: an optional per-cycle observer on the cluster loop
+// that records what each core is doing (program counter, issue activity,
+// stall class) — the moral equivalent of the Snitch RTL traces the paper
+// extracts its utilization metrics from. Used by the debug tooling and by
+// tests that assert fine-grained timing behaviour.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+
+namespace saris {
+
+struct CycleSample {
+  Cycle cycle = 0;
+  u32 core = 0;
+  u64 int_instrs = 0;       ///< cumulative integer retires
+  u64 fp_instrs = 0;        ///< cumulative FPU issues
+  u64 fpu_useful = 0;       ///< cumulative useful FPU ops
+  bool halted = false;
+};
+
+/// Runs `cluster` until all cores halt, sampling every core each cycle.
+/// `on_sample` may be empty, in which case samples are only aggregated
+/// into the returned activity timeline.
+struct ActivityTimeline {
+  /// Per-cycle number of cores that issued a useful FPU op.
+  std::vector<u32> fpu_active_cores;
+  /// Per-cycle number of cores that retired an integer instruction.
+  std::vector<u32> int_active_cores;
+
+  Cycle cycles() const {
+    return static_cast<Cycle>(fpu_active_cores.size());
+  }
+  /// Fraction of core-cycles with useful FPU work (equals the paper's
+  /// FPU-utilization metric when measured over the full window).
+  double fpu_utilization(u32 num_cores) const;
+  /// Render an ASCII utilization strip ('0'-'8' cores active per bucket).
+  std::string ascii_strip(u32 buckets = 64) const;
+};
+
+ActivityTimeline run_traced(
+    Cluster& cluster,
+    const std::function<void(const CycleSample&)>& on_sample = {},
+    Cycle max_cycles = 100'000'000);
+
+/// Render any per-cycle activity series (0..8 cores) as an ASCII strip.
+std::string ascii_activity_strip(const std::vector<u32>& series,
+                                 u32 buckets = 64);
+
+}  // namespace saris

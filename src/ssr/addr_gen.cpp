@@ -1,0 +1,40 @@
+#include "ssr/addr_gen.hpp"
+
+#include "common/log.hpp"
+
+namespace saris {
+
+void AffineAddrGen::start(const SsrLaneConfig& cfg, Addr base) {
+  remaining_ = 1;
+  for (u32 d = 0; d < kSsrMaxDims; ++d) {
+    SARIS_CHECK(cfg.bounds[d] >= 1, "affine bound must be >= 1");
+    bounds_[d] = cfg.bounds[d];
+    strides_[d] = cfg.strides[d];
+    idx_[d] = 0;
+    remaining_ *= cfg.bounds[d];
+  }
+  cur_ = base;
+}
+
+Addr AffineAddrGen::peek() const {
+  SARIS_CHECK(remaining_ > 0, "peek on exhausted generator");
+  return cur_;
+}
+
+Addr AffineAddrGen::next() {
+  Addr out = peek();
+  --remaining_;
+  if (remaining_ == 0) return out;
+  // Incremental carry-chain update of the current address.
+  for (u32 d = 0; d < kSsrMaxDims; ++d) {
+    cur_ = static_cast<Addr>(static_cast<i64>(cur_) + strides_[d]);
+    if (++idx_[d] < bounds_[d]) break;
+    // Wrap this dim: undo its contribution, carry into the next dim.
+    cur_ = static_cast<Addr>(static_cast<i64>(cur_) -
+                             static_cast<i64>(strides_[d]) * bounds_[d]);
+    idx_[d] = 0;
+  }
+  return out;
+}
+
+}  // namespace saris

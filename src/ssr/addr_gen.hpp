@@ -1,0 +1,34 @@
+// Address generators for SSR lanes.
+//
+// AffineAddrGen walks a up-to-4-D nested loop (innermost dim 0) producing
+// byte addresses base + sum_k i_k * stride_k, one per next().
+#pragma once
+
+#include "common/types.hpp"
+#include "ssr/ssr_config.hpp"
+
+namespace saris {
+
+class AffineAddrGen {
+ public:
+  AffineAddrGen() = default;
+  /// Arm the generator; `cfg` bounds/strides are captured by value.
+  void start(const SsrLaneConfig& cfg, Addr base);
+
+  bool done() const { return remaining_ == 0; }
+  u64 remaining() const { return remaining_; }
+
+  /// Current address; only valid while !done().
+  Addr peek() const;
+  /// Return current address and advance.
+  Addr next();
+
+ private:
+  u32 bounds_[kSsrMaxDims] = {1, 1, 1, 1};
+  i32 strides_[kSsrMaxDims] = {0, 0, 0, 0};
+  u32 idx_[kSsrMaxDims] = {0, 0, 0, 0};
+  Addr cur_ = 0;
+  u64 remaining_ = 0;
+};
+
+}  // namespace saris

@@ -1,0 +1,54 @@
+// SSR configuration-word map (scfgwi selectors) and static lane parameters.
+//
+// Mirrors the SSSR programming model: per-lane config registers written by
+// the integer core via `scfgwi value, lane, word`; writing a LAUNCH word arms
+// the lane and starts streaming. Lanes 0 and 1 are indirection-capable,
+// lane 2 is affine-only (paper §2.3).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace saris {
+
+inline constexpr u32 kSsrMaxDims = 4;
+inline constexpr u32 kSsrFifoDepth = 4;      ///< data FIFO depth per lane
+inline constexpr u32 kSsrIdxQueueDepth = 8;  ///< decoded pending indices
+
+/// scfgwi `word` selectors.
+enum SsrCfgWord : u32 {
+  kSsrBound0 = 0,  ///< element count, innermost dim
+  kSsrBound1 = 1,
+  kSsrBound2 = 2,
+  kSsrBound3 = 3,
+  kSsrStride0 = 4,  ///< byte stride, innermost dim
+  kSsrStride1 = 5,
+  kSsrStride2 = 6,
+  kSsrStride3 = 7,
+  kSsrIdxBase = 8,   ///< TCDM byte address of the index array
+  kSsrIdxCount = 9,  ///< number of indices consumed per indirect launch
+  kSsrIdxSize = 10,  ///< bytes per index: 1, 2 (default) or 4
+  // Writing one of these arms the stream; the written value is the base
+  // address (affine) or the indirection base (indirect).
+  kSsrLaunchRead = 16,
+  kSsrLaunchWrite = 17,
+  kSsrLaunchIndirect = 18,
+};
+
+enum class SsrStreamKind { kNone, kAffineRead, kAffineWrite, kIndirectRead };
+
+/// Per-lane configuration state (written via scfgwi, read by the generators).
+struct SsrLaneConfig {
+  u32 bounds[kSsrMaxDims] = {1, 1, 1, 1};
+  i32 strides[kSsrMaxDims] = {0, 0, 0, 0};
+  Addr idx_base = 0;
+  u32 idx_count = 0;
+  u32 idx_size = 2;
+
+  u64 affine_elems() const {
+    u64 n = 1;
+    for (u32 b : bounds) n *= b;
+    return n;
+  }
+};
+
+}  // namespace saris

@@ -1,0 +1,97 @@
+// One SSR lane: the hardware behind one stream-capable FP register.
+//
+// A read lane prefetches elements through its own TCDM port into a small
+// data FIFO that the FPU pops when an instruction reads the mapped register.
+// An indirect read lane first fetches packed indices (through a port shared
+// between lanes — see SsrUnit), then gathers base + idx*8. A write lane
+// accepts FPU results into a FIFO and drains them to affine addresses.
+#pragma once
+
+#include "common/fixed_queue.hpp"
+#include "mem/tcdm.hpp"
+#include "ssr/addr_gen.hpp"
+#include "ssr/ssr_config.hpp"
+
+namespace saris {
+
+class SsrLane {
+ public:
+  /// `indirect_capable`: lanes 0/1 on Snitch SSSR; lane 2 is affine-only.
+  SsrLane(Tcdm& tcdm, u32 lane_id, bool indirect_capable);
+
+  // ---- configuration (integer core, via scfgwi) ----
+  /// True while a stream is armed and not fully consumed/drained; config
+  /// writes to a busy lane stall the integer core.
+  bool busy() const;
+  void write_cfg(u32 word, u32 value);
+
+  // ---- FPU-side interface ----
+  bool is_read_stream() const {
+    return kind_ == SsrStreamKind::kAffineRead ||
+           kind_ == SsrStreamKind::kIndirectRead;
+  }
+  bool is_write_stream() const { return kind_ == SsrStreamKind::kAffineWrite; }
+  /// Read stream: data available to pop this cycle?
+  bool can_pop() const;
+  double pop();
+  /// Write stream: room for one more result (accounting for in-flight FPU
+  /// results that already reserved a slot)?
+  bool can_reserve_push() const;
+  void reserve_push();   ///< at FPU issue
+  void push(double v);   ///< at FPU writeback (consumes one reservation)
+
+  // ---- cycle behaviour ----
+  /// Phase 1: absorb TCDM responses granted last cycle.
+  void collect(Cycle now);
+  /// Phase 2: issue new data requests / drain writes. Index words are
+  /// delivered by the owning SsrUnit via deliver_index_word().
+  void tick(Cycle now);
+
+  /// Indirect support, driven by SsrUnit's shared index port:
+  /// does this lane want an index-word fetch, and at which address?
+  bool wants_index_word(Addr* addr_out) const;
+  void index_word_sent();                ///< the shared port took our request
+  void deliver_index_word(u64 word);     ///< response arrived
+
+  // ---- statistics ----
+  u64 elems_streamed() const { return elems_streamed_; }
+  u64 idx_words_fetched() const { return idx_words_fetched_; }
+
+  u32 lane_id() const { return lane_id_; }
+  const SsrLaneConfig& config() const { return cfg_; }
+  SsrStreamKind kind() const { return kind_; }
+
+ private:
+  void launch(SsrStreamKind kind, Addr base);
+
+  Tcdm& tcdm_;
+  u32 lane_id_;
+  bool indirect_capable_;
+  u32 data_port_;
+
+  SsrLaneConfig cfg_{};
+  SsrStreamKind kind_ = SsrStreamKind::kNone;
+
+  // Read-stream state.
+  AffineAddrGen affine_{};
+  FixedQueue<double> rfifo_;
+  u64 to_fetch_ = 0;    ///< data elements not yet requested
+  u64 to_consume_ = 0;  ///< elements not yet popped (reads) / drained (writes)
+  u32 inflight_data_ = 0;
+
+  // Indirect state.
+  Addr indir_base_ = 0;
+  Addr idx_fetch_addr_ = 0;
+  u64 idx_to_fetch_ = 0;  ///< indices not yet covered by a fetched word
+  bool idx_req_inflight_ = false;
+  FixedQueue<Addr> pending_gather_;  ///< decoded gather addresses
+
+  // Write-stream state.
+  FixedQueue<double> wfifo_;
+  u32 reserved_ = 0;
+
+  u64 elems_streamed_ = 0;
+  u64 idx_words_fetched_ = 0;
+};
+
+}  // namespace saris

@@ -1,0 +1,99 @@
+#include "stencil/reference.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace saris {
+
+double reference_point(const StencilCode& sc,
+                       const std::vector<Grid<>>& inputs,
+                       const std::vector<double>& coeffs, u32 x, u32 y,
+                       u32 z) {
+  auto tap_val = [&](const Tap& t) {
+    const Grid<>& g = inputs[t.array];
+    return g.at(static_cast<u32>(static_cast<i32>(x) + t.dx),
+                static_cast<u32>(static_cast<i32>(y) + t.dy),
+                static_cast<u32>(static_cast<i32>(z) + t.dz));
+  };
+
+  switch (sc.sched) {
+    case ScheduleClass::kFmaChain: {
+      double acc = sc.const_term ? coeffs[sc.n_coeffs - 1] : 0.0;
+      bool first = !sc.const_term;
+      for (const Tap& t : sc.taps) {
+        SARIS_CHECK(t.coeff != kNoCoeff, "fma-chain tap without coefficient");
+        if (first) {
+          acc = coeffs[t.coeff] * tap_val(t);
+          first = false;
+        } else {
+          acc += coeffs[t.coeff] * tap_val(t);
+        }
+      }
+      return acc;
+    }
+    case ScheduleClass::kSumScale: {
+      double sum = 0.0;
+      for (const Tap& t : sc.taps) sum += tap_val(t);
+      return coeffs[0] * sum;
+    }
+    case ScheduleClass::kAxisPairs:
+    case ScheduleClass::kAxisPairsPrev: {
+      // taps[0] = center; then (minus, plus) pairs sharing a coefficient;
+      // for kAxisPairsPrev the final tap is the subtracted prev-step load.
+      u32 n = sc.loads_per_point();
+      u32 pair_taps = (sc.sched == ScheduleClass::kAxisPairsPrev) ? n - 2
+                                                                  : n - 1;
+      double acc = coeffs[sc.taps[0].coeff] * tap_val(sc.taps[0]);
+      for (u32 i = 1; i + 1 <= pair_taps; i += 2) {
+        const Tap& lo = sc.taps[i];
+        const Tap& hi = sc.taps[i + 1];
+        SARIS_CHECK(lo.coeff == hi.coeff && lo.coeff != kNoCoeff,
+                    "axis pair must share a coefficient");
+        acc += coeffs[lo.coeff] * (tap_val(lo) + tap_val(hi));
+      }
+      if (sc.sched == ScheduleClass::kAxisPairsPrev) {
+        acc -= tap_val(sc.taps[n - 1]);
+      }
+      return acc;
+    }
+  }
+  SARIS_CHECK(false, "bad schedule class");
+}
+
+void reference_step(const StencilCode& sc, const std::vector<Grid<>>& inputs,
+                    const std::vector<double>& coeffs, Grid<>& out) {
+  SARIS_CHECK(inputs.size() >= sc.n_inputs, "missing input arrays");
+  SARIS_CHECK(coeffs.size() == sc.n_coeffs, "coefficient count mismatch");
+  u32 r = sc.radius;
+  u32 zlo = (sc.dims == 3) ? r : 0;
+  u32 zhi = (sc.dims == 3) ? sc.tile_nz - r : 1;
+  for (u32 z = zlo; z < zhi; ++z) {
+    for (u32 y = r; y < sc.tile_ny - r; ++y) {
+      for (u32 x = r; x < sc.tile_nx - r; ++x) {
+        out.at(x, y, z) = reference_point(sc, inputs, coeffs, x, y, z);
+      }
+    }
+  }
+}
+
+double max_rel_error(const StencilCode& sc, const Grid<>& a, const Grid<>& b) {
+  u32 r = sc.radius;
+  u32 zlo = (sc.dims == 3) ? r : 0;
+  u32 zhi = (sc.dims == 3) ? sc.tile_nz - r : 1;
+  double worst = 0.0;
+  for (u32 z = zlo; z < zhi; ++z) {
+    for (u32 y = r; y < sc.tile_ny - r; ++y) {
+      for (u32 x = r; x < sc.tile_nx - r; ++x) {
+        double va = a.at(x, y, z);
+        double vb = b.at(x, y, z);
+        double denom = std::max({std::fabs(va), std::fabs(vb), 1e-30});
+        worst = std::max(worst, std::fabs(va - vb) / denom);
+      }
+    }
+  }
+  return worst;
+}
+
+}  // namespace saris

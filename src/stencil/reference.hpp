@@ -1,0 +1,26 @@
+// Host-side golden reference executor: one time iteration of a stencil code
+// over a tile's interior. Simulated kernel outputs are verified against it
+// (with a tolerance covering reassociation differences).
+#pragma once
+
+#include <vector>
+
+#include "stencil/grid.hpp"
+#include "stencil/stencil_def.hpp"
+
+namespace saris {
+
+/// Compute out(interior) from `inputs` (inputs[0] is the current time step,
+/// further entries per sc.n_inputs). Halo cells of `out` are left untouched.
+void reference_step(const StencilCode& sc, const std::vector<Grid<>>& inputs,
+                    const std::vector<double>& coeffs, Grid<>& out);
+
+/// Point update at (x, y, z) — exposed for property tests.
+double reference_point(const StencilCode& sc,
+                       const std::vector<Grid<>>& inputs,
+                       const std::vector<double>& coeffs, u32 x, u32 y, u32 z);
+
+/// Max relative error over the interior between two grids.
+double max_rel_error(const StencilCode& sc, const Grid<>& a, const Grid<>& b);
+
+}  // namespace saris

@@ -1,0 +1,98 @@
+#include "stencil/stencil_def.hpp"
+
+#include "common/log.hpp"
+
+namespace saris {
+
+u32 StencilCode::flops_per_point() const {
+  u32 n = loads_per_point();
+  switch (sched) {
+    case ScheduleClass::kFmaChain:
+      // const term seeds the accumulator (reg, no FLOP), then n fmadd;
+      // without it: 1 fmul + (n-1) fmadd.
+      return const_term ? 2 * n : 2 * n - 1;
+    case ScheduleClass::kSumScale:
+      return n;  // (n-1) fadd + 1 fmul
+    case ScheduleClass::kAxisPairs: {
+      u32 pairs = (n - 1) / 2;
+      return 3 * pairs + 1;  // pairs fadd + 1 fmul + pairs fmadd
+    }
+    case ScheduleClass::kAxisPairsPrev: {
+      u32 pairs = (n - 2) / 2;  // taps minus center minus prev
+      return 3 * pairs + 2;     // ... + center fmul + final fsub
+    }
+  }
+  SARIS_CHECK(false, "bad schedule class");
+}
+
+std::vector<double> StencilCode::default_coeffs() const {
+  std::vector<double> c(n_coeffs);
+  if (sched == ScheduleClass::kSumScale) {
+    SARIS_CHECK(n_coeffs == 1, "sum-scale uses one coefficient");
+    c[0] = 0.2;
+    return c;
+  }
+  // Deterministic, bounded: sum of |c_i| stays below ~0.9 so repeated
+  // iterations do not blow up in long-running examples.
+  for (u32 i = 0; i < n_coeffs; ++i) {
+    c[i] = (0.7 + 0.05 * static_cast<double>(i % 5)) /
+           static_cast<double>(n_coeffs);
+    if (i % 3 == 2) c[i] = -c[i];
+  }
+  return c;
+}
+
+std::vector<Tap> make_star_taps(u32 dims, u32 radius, bool with_coeffs) {
+  SARIS_CHECK(dims == 2 || dims == 3, "star taps: dims must be 2 or 3");
+  std::vector<Tap> taps;
+  u32 coeff = 0;
+  auto push = [&](i32 dx, i32 dy, i32 dz) {
+    Tap t;
+    t.dx = dx;
+    t.dy = dy;
+    t.dz = dz;
+    t.coeff = with_coeffs ? coeff++ : kNoCoeff;
+    taps.push_back(t);
+  };
+  push(0, 0, 0);
+  for (u32 axis = 0; axis < dims; ++axis) {
+    for (u32 r = 1; r <= radius; ++r) {
+      i32 d = static_cast<i32>(r);
+      if (axis == 0) {
+        push(-d, 0, 0);
+        push(d, 0, 0);
+      } else if (axis == 1) {
+        push(0, -d, 0);
+        push(0, d, 0);
+      } else {
+        push(0, 0, -d);
+        push(0, 0, d);
+      }
+    }
+  }
+  return taps;
+}
+
+std::vector<Tap> make_box_taps(u32 dims, u32 radius, bool with_coeffs) {
+  SARIS_CHECK(dims == 2 || dims == 3, "box taps: dims must be 2 or 3");
+  std::vector<Tap> taps;
+  u32 coeff = 0;
+  i32 r = static_cast<i32>(radius);
+  i32 zlo = (dims == 3) ? -r : 0;
+  i32 zhi = (dims == 3) ? r : 0;
+  for (i32 dz = zlo; dz <= zhi; ++dz) {
+    for (i32 dy = -r; dy <= r; ++dy) {
+      for (i32 dx = -r; dx <= r; ++dx) {
+        Tap t;
+        t.dx = dx;
+        t.dy = dy;
+        t.dz = dz;
+        t.coeff = with_coeffs ? coeff++ : kNoCoeff;
+        taps.push_back(t);
+      }
+    }
+  }
+  return taps;
+}
+
+}  // namespace saris

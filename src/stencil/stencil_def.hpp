@@ -1,0 +1,82 @@
+// Stencil-code descriptors: everything Table 1 of the paper states about a
+// code (dims, radius, loads, coefficients, FLOPs per point), plus the
+// schedule class that determines how those FLOPs are formed and the tile
+// geometry used on the cluster.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace saris {
+
+inline constexpr u32 kNoCoeff = ~0u;
+
+/// One grid load of the point loop: input array `array` at relative offset
+/// (dx, dy, dz), optionally multiplied by coefficient `coeff`.
+struct Tap {
+  i32 dx = 0;
+  i32 dy = 0;
+  i32 dz = 0;
+  u32 array = 0;        ///< input-array index (0 = current time step)
+  u32 coeff = kNoCoeff; ///< coefficient index, or kNoCoeff
+};
+
+/// How the point update combines taps into FLOPs.
+enum class ScheduleClass {
+  /// out = sum_i c_i * tap_i (+ const term): 1 fmul + (n-1) fmadd, or
+  /// n fmadd when a constant term seeds the accumulator.
+  kFmaChain,
+  /// out = c0 * (sum of all taps): (n-1) fadd + 1 fmul  (jacobi_2d).
+  kSumScale,
+  /// out = c_ctr*center + sum_axis sum_r c_{a,r}*(tap_- + tap_+):
+  /// pairs fadd + 1 fmul + pairs fmadd  (symmetric star; the paper's
+  /// 7-point example).
+  kAxisPairs,
+  /// kAxisPairs followed by subtracting a previous-time-step array and
+  /// (sparsely) adding an impulse  (ac_iso_cd).
+  kAxisPairsPrev,
+};
+
+struct StencilCode {
+  std::string name;
+  u32 dims = 2;    ///< 2 or 3
+  u32 radius = 1;  ///< halo width
+  ScheduleClass sched = ScheduleClass::kFmaChain;
+  bool const_term = false;  ///< additive constant coefficient seeds the chain
+  u32 n_inputs = 1;         ///< number of input arrays
+  u32 n_extra_traffic_arrays = 0;  ///< interior-sized arrays moved but not
+                                   ///< loaded per point (ac_iso impulse)
+  std::vector<Tap> taps;
+  u32 n_coeffs = 0;
+
+  // Tile geometry on the cluster (paper: 64^2 for 2-D, 16^3 for 3-D,
+  // including halos).
+  u32 tile_nx = 0;
+  u32 tile_ny = 0;
+  u32 tile_nz = 1;
+
+  u32 loads_per_point() const { return static_cast<u32>(taps.size()); }
+  u32 flops_per_point() const;
+
+  u32 interior_nx() const { return tile_nx - 2 * radius; }
+  u32 interior_ny() const { return tile_ny - 2 * radius; }
+  u32 interior_nz() const { return dims == 3 ? tile_nz - 2 * radius : 1; }
+  u64 interior_points() const {
+    return static_cast<u64>(interior_nx()) * interior_ny() * interior_nz();
+  }
+  u64 tile_points() const {
+    return static_cast<u64>(tile_nx) * tile_ny * tile_nz;
+  }
+
+  /// Deterministic coefficient values (c0 = 0.2 for jacobi-style codes,
+  /// small decaying values otherwise so iterates stay bounded).
+  std::vector<double> default_coeffs() const;
+};
+
+/// Helper used by code definitions: taps of a (2r+1)-point star / box.
+std::vector<Tap> make_star_taps(u32 dims, u32 radius, bool with_coeffs);
+std::vector<Tap> make_box_taps(u32 dims, u32 radius, bool with_coeffs);
+
+}  // namespace saris

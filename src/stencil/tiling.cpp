@@ -1,0 +1,37 @@
+#include "stencil/tiling.hpp"
+
+#include "common/log.hpp"
+
+namespace saris {
+
+namespace {
+u64 ceil_div(u64 a, u64 b) { return (a + b - 1) / b; }
+}  // namespace
+
+TileTraffic tile_traffic(const StencilCode& sc) {
+  TileTraffic t;
+  u64 interior = sc.interior_points();
+  t.bytes_in = sc.tile_points() * sizeof(double);  // array 0 with halo
+  t.bytes_in += static_cast<u64>(sc.n_inputs - 1) * interior * sizeof(double);
+  t.bytes_in +=
+      static_cast<u64>(sc.n_extra_traffic_arrays) * interior * sizeof(double);
+  t.bytes_out = interior * sizeof(double);
+  return t;
+}
+
+u64 scaleout_tiles(const StencilCode& sc) {
+  if (sc.dims == 2) {
+    u64 g = 16384;
+    return ceil_div(g, sc.interior_nx()) * ceil_div(g, sc.interior_ny());
+  }
+  u64 g = 512;
+  return ceil_div(g, sc.interior_nx()) * ceil_div(g, sc.interior_ny()) *
+         ceil_div(g, sc.interior_nz());
+}
+
+u64 scaleout_points(const StencilCode& sc) {
+  if (sc.dims == 2) return 16384ull * 16384ull;
+  return 512ull * 512ull * 512ull;
+}
+
+}  // namespace saris

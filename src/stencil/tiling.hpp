@@ -1,0 +1,28 @@
+// Tile traffic and grid tiling arithmetic shared by the kernel runner (DMA
+// job shapes) and the manycore scale-out model (bytes per tile, tile counts
+// for the paper's 16384^2 / 512^3 grids).
+#pragma once
+
+#include "stencil/stencil_def.hpp"
+
+namespace saris {
+
+struct TileTraffic {
+  u64 bytes_in = 0;   ///< per tile: halo'd input(s) + extra arrays
+  u64 bytes_out = 0;  ///< per tile: interior of the output
+  u64 total() const { return bytes_in + bytes_out; }
+};
+
+/// Per-tile main-memory traffic of one time iteration, matching the
+/// double-buffered DMA scheme: array 0 moves with halo, further input and
+/// extra-traffic arrays move interior-sized, output moves interior-sized.
+TileTraffic tile_traffic(const StencilCode& sc);
+
+/// Number of tiles covering the paper's scale-out grid for this code
+/// (16384^2 for 2-D, 512^3 for 3-D), tiling by interior size.
+u64 scaleout_tiles(const StencilCode& sc);
+
+/// Scale-out grid points (16384^2 or 512^3).
+u64 scaleout_points(const StencilCode& sc);
+
+}  // namespace saris

@@ -1,0 +1,168 @@
+// Unit tests: cluster integration — barrier, multi-core execution,
+// determinism, watchdogs.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "isa/builder.hpp"
+
+namespace saris {
+namespace {
+
+TEST(Barrier, ReleasesOnlyWhenAllArrive) {
+  Barrier bar(3);
+  bar.arrive(0);
+  bar.tick(0);
+  EXPECT_FALSE(bar.released(0));
+  bar.arrive(1);
+  bar.tick(1);
+  EXPECT_FALSE(bar.released(1));
+  bar.arrive(2);
+  // Release happens after the configured delay.
+  for (Cycle t = 2; t < 2 + kBarrierReleaseDelay + 1; ++t) bar.tick(t);
+  EXPECT_TRUE(bar.released(0));
+  EXPECT_TRUE(bar.released(1));
+  EXPECT_TRUE(bar.released(2));
+  EXPECT_EQ(bar.episodes(), 1u);
+}
+
+TEST(Barrier, Reusable) {
+  Barrier bar(2);
+  for (u32 round = 0; round < 3; ++round) {
+    bar.arrive(0);
+    bar.arrive(1);
+    for (Cycle t = 0; t < kBarrierReleaseDelay + 1; ++t) {
+      bar.tick(round * 10 + t);
+    }
+    EXPECT_TRUE(bar.released(0));
+  }
+  EXPECT_EQ(bar.episodes(), 3u);
+}
+
+TEST(BarrierDeath, DoubleArrivalAborts) {
+  Barrier bar(2);
+  bar.arrive(0);
+  EXPECT_DEATH(bar.arrive(0), "double arrival");
+}
+
+TEST(Cluster, EightCoresByDefault) {
+  Cluster cl;
+  EXPECT_EQ(cl.num_cores(), 8u);
+}
+
+TEST(Cluster, AllCoresRunIndependentPrograms) {
+  Cluster cl;
+  for (u32 c = 0; c < cl.num_cores(); ++c) {
+    ProgramBuilder b;
+    b.li(x(5), static_cast<i32>(c) + 1);
+    b.li(x(6), 100);
+    b.mul(x(7), x(5), x(6));
+    b.halt();
+    cl.core(c).load_program(b.build());
+  }
+  cl.run_until_halted();
+  for (u32 c = 0; c < cl.num_cores(); ++c) {
+    EXPECT_EQ(cl.core(c).xreg(7), (c + 1) * 100);
+  }
+}
+
+TEST(Cluster, BarrierSynchronizesCores) {
+  // Core 0 does a long loop before the barrier; all others arrive early.
+  // Everyone's post-barrier timestamp must be >= core 0's arrival.
+  Cluster cl;
+  for (u32 c = 0; c < cl.num_cores(); ++c) {
+    ProgramBuilder b;
+    if (c == 0) {
+      b.li(x(5), 0);
+      b.li(x(6), 500);
+      b.bind("spin");
+      b.addi(x(5), x(5), 1);
+      b.bne(x(5), x(6), "spin");
+    }
+    b.csrr_cycle(x(8));  // before barrier
+    b.barrier();
+    b.csrr_cycle(x(9));  // after barrier
+    b.halt();
+    cl.core(c).load_program(b.build());
+  }
+  cl.run_until_halted();
+  u32 core0_arrival = cl.core(0).xreg(8);
+  EXPECT_GT(core0_arrival, 1000u);
+  for (u32 c = 0; c < cl.num_cores(); ++c) {
+    EXPECT_GE(cl.core(c).xreg(9), core0_arrival);
+    EXPECT_GT(cl.core(c).perf().stall_barrier + 1, 0u);
+  }
+}
+
+TEST(Cluster, SharedTcdmVisibleAcrossCores) {
+  // Core 0 stores, waits at a barrier, core 1 loads after the barrier.
+  Cluster cl;
+  {
+    ProgramBuilder b;
+    b.li(x(5), 4096);
+    b.li(x(6), 1234);
+    b.sw(x(6), x(5), 0);
+    b.barrier();
+    b.halt();
+    cl.core(0).load_program(b.build());
+  }
+  {
+    ProgramBuilder b;
+    b.barrier();
+    b.li(x(5), 4096);
+    b.lw(x(7), x(5), 0);
+    b.halt();
+    cl.core(1).load_program(b.build());
+  }
+  for (u32 c = 2; c < cl.num_cores(); ++c) {
+    ProgramBuilder b;
+    b.barrier();
+    b.halt();
+    cl.core(c).load_program(b.build());
+  }
+  cl.run_until_halted();
+  EXPECT_EQ(cl.core(1).xreg(7), 1234u);
+}
+
+TEST(Cluster, DeterministicCycleCounts) {
+  auto run_once = []() {
+    Cluster cl;
+    for (u32 c = 0; c < cl.num_cores(); ++c) {
+      ProgramBuilder b;
+      b.li(x(5), 0);
+      b.li(x(6), static_cast<i32>(50 + 10 * c));
+      b.bind("loop");
+      b.fmadd_d(f(4), f(4), f(4), f(4));
+      b.addi(x(5), x(5), 1);
+      b.bne(x(5), x(6), "loop");
+      b.barrier();
+      b.halt();
+      cl.core(c).load_program(b.build());
+    }
+    return cl.run_until_halted();
+  };
+  Cycle a = run_once();
+  Cycle b = run_once();
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a, 0u);
+}
+
+TEST(Cluster, StepAdvancesTime) {
+  Cluster cl;
+  EXPECT_EQ(cl.now(), 0u);
+  cl.step();
+  EXPECT_EQ(cl.now(), 1u);
+}
+
+TEST(ClusterDeath, WatchdogFiresWithoutHalt) {
+  Cluster cl;
+  for (u32 c = 0; c < cl.num_cores(); ++c) {
+    ProgramBuilder b;
+    b.bind("forever");
+    b.j("forever");
+    cl.core(c).load_program(b.build());
+  }
+  EXPECT_DEATH(cl.run_until_halted(1000), "did not halt");
+}
+
+}  // namespace
+}  // namespace saris

@@ -1,0 +1,274 @@
+// Unit tests: the Snitch-like core — integer semantics, branch timing, FP
+// offload behaviour, FP load/store, SSR register mapping, halt draining.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "isa/builder.hpp"
+#include "ssr/ssr_config.hpp"
+
+namespace saris {
+namespace {
+
+/// One-core rig: run a program on core 0 of a cluster until it halts.
+Cycle run_on_core0(Cluster& cl, Program p, Cycle max_cycles = 100000) {
+  // Other cores get a trivial program so the cluster can halt.
+  for (u32 c = 1; c < cl.num_cores(); ++c) {
+    ProgramBuilder b;
+    b.halt();
+    cl.core(c).load_program(b.build());
+  }
+  cl.core(0).load_program(std::move(p));
+  return cl.run_until_halted(max_cycles);
+}
+
+TEST(Core, IntegerAluSemantics) {
+  Cluster cl;
+  ProgramBuilder b;
+  b.li(x(5), 10);
+  b.li(x(6), 3);
+  b.add(x(7), x(5), x(6));
+  b.sub(x(8), x(5), x(6));
+  b.slli(x(9), x(6), 2);
+  b.srli(x(10), x(5), 1);
+  b.andi(x(11), x(5), 6);
+  b.mul(x(12), x(5), x(6));
+  b.lui(x(13), 5);
+  b.halt();
+  run_on_core0(cl, b.build());
+  Core& c = cl.core(0);
+  EXPECT_EQ(c.xreg(7), 13u);
+  EXPECT_EQ(c.xreg(8), 7u);
+  EXPECT_EQ(c.xreg(9), 12u);
+  EXPECT_EQ(c.xreg(10), 5u);
+  EXPECT_EQ(c.xreg(11), 2u);
+  EXPECT_EQ(c.xreg(12), 30u);
+  EXPECT_EQ(c.xreg(13), 5u << 12);
+}
+
+TEST(Core, X0IsHardwiredZero) {
+  Cluster cl;
+  ProgramBuilder b;
+  b.addi(x(0), x(0), 5);
+  b.add(x(5), x(0), x(0));
+  b.halt();
+  run_on_core0(cl, b.build());
+  EXPECT_EQ(cl.core(0).xreg(0), 0u);
+  EXPECT_EQ(cl.core(0).xreg(5), 0u);
+}
+
+TEST(Core, BranchesAndLoop) {
+  Cluster cl;
+  ProgramBuilder b;
+  b.li(x(5), 0);
+  b.li(x(6), 10);
+  b.bind("loop");
+  b.addi(x(5), x(5), 1);
+  b.bne(x(5), x(6), "loop");
+  b.halt();
+  run_on_core0(cl, b.build());
+  EXPECT_EQ(cl.core(0).xreg(5), 10u);
+}
+
+TEST(Core, TakenBranchCostsPenalty) {
+  // A loop body of two instructions: N iterations cost about
+  // N * (2 + penalty) cycles; an untaken-branch epilogue costs 1.
+  Cluster cl;
+  ProgramBuilder b;
+  b.li(x(5), 0);
+  b.li(x(6), 50);
+  b.bind("loop");
+  b.addi(x(5), x(5), 1);
+  b.bne(x(5), x(6), "loop");
+  b.halt();
+  Cycle cycles = run_on_core0(cl, b.build());
+  // 50 iterations: 49 taken (cost 2 + 2) + 1 untaken (cost 2) + setup.
+  EXPECT_NEAR(static_cast<double>(cycles),
+              49 * (2.0 + kBranchPenaltyCycles) + 2 + 2 + 2, 16.0);
+}
+
+TEST(Core, IntLoadStore) {
+  Cluster cl;
+  ProgramBuilder b;
+  b.li(x(5), 256);      // address
+  b.li(x(6), -7);
+  b.sw(x(6), x(5), 0);
+  b.lw(x(7), x(5), 0);
+  b.li(x(8), 513);
+  b.sh(x(8), x(5), 8);
+  b.lh(x(9), x(5), 8);
+  b.halt();
+  run_on_core0(cl, b.build());
+  EXPECT_EQ(static_cast<i32>(cl.core(0).xreg(7)), -7);
+  EXPECT_EQ(cl.core(0).xreg(9), 513u);
+}
+
+TEST(Core, LhSignExtends) {
+  Cluster cl;
+  ProgramBuilder b;
+  b.li(x(5), 64);
+  b.li(x(6), -2);  // 0xFFFE
+  b.sh(x(6), x(5), 0);
+  b.lh(x(7), x(5), 0);
+  b.halt();
+  run_on_core0(cl, b.build());
+  EXPECT_EQ(static_cast<i32>(cl.core(0).xreg(7)), -2);
+}
+
+TEST(Core, FpComputeSemantics) {
+  Cluster cl;
+  cl.tcdm().host_write_f64(0, 1.5);
+  cl.tcdm().host_write_f64(8, 2.0);
+  cl.tcdm().host_write_f64(16, -4.0);
+  ProgramBuilder b;
+  b.li(x(5), 0);
+  b.fld(f(4), x(5), 0);
+  b.fld(f(5), x(5), 8);
+  b.fld(f(6), x(5), 16);
+  b.fadd_d(f(7), f(4), f(5));          // 3.5
+  b.fsub_d(f(8), f(4), f(5));          // -0.5
+  b.fmul_d(f(9), f(4), f(5));          // 3.0
+  b.fmadd_d(f(10), f(4), f(5), f(6));  // 1.5*2 + -4 = -1
+  b.fmsub_d(f(11), f(4), f(5), f(6));  // 3 - -4 = 7
+  b.fnmsub_d(f(12), f(4), f(5), f(6)); // -3 + -4 = -7
+  b.fmv_d(f(13), f(7));
+  b.fsd(f(10), x(5), 24);
+  b.halt();
+  run_on_core0(cl, b.build());
+  Core& c = cl.core(0);
+  EXPECT_DOUBLE_EQ(c.freg(7), 3.5);
+  EXPECT_DOUBLE_EQ(c.freg(8), -0.5);
+  EXPECT_DOUBLE_EQ(c.freg(9), 3.0);
+  EXPECT_DOUBLE_EQ(c.freg(10), -1.0);
+  EXPECT_DOUBLE_EQ(c.freg(11), 7.0);
+  EXPECT_DOUBLE_EQ(c.freg(12), -7.0);
+  EXPECT_DOUBLE_EQ(c.freg(13), 3.5);
+  EXPECT_DOUBLE_EQ(cl.tcdm().host_read_f64(24), -1.0);
+}
+
+TEST(Core, HaltWaitsForFpuDrain) {
+  // The final fsd must land in memory even though halt follows directly.
+  Cluster cl;
+  cl.tcdm().host_write_f64(0, 2.0);
+  ProgramBuilder b;
+  b.li(x(5), 0);
+  b.fld(f(4), x(5), 0);
+  b.fmul_d(f(4), f(4), f(4));
+  b.fsd(f(4), x(5), 8);
+  b.halt();
+  run_on_core0(cl, b.build());
+  EXPECT_DOUBLE_EQ(cl.tcdm().host_read_f64(8), 4.0);
+}
+
+TEST(Core, PseudoDualIssueOverlapsIntAndFp) {
+  // With FREP, integer instructions retire while the FPU replays: the
+  // total cycle count is far below the sum of both instruction streams.
+  Cluster cl;
+  ProgramBuilder b;
+  b.li(x(6), 400);  // frep reps
+  b.li(x(5), 0);
+  b.li(x(7), 100);
+  b.frep(x(6), 2);
+  b.fadd_d(f(4), f(4), f(5));
+  b.fmul_d(f(6), f(6), f(6));
+  // Integer work that runs concurrently with the 800 replayed FP ops.
+  b.bind("iloop");
+  b.addi(x(5), x(5), 1);
+  b.bne(x(5), x(7), "iloop");
+  b.halt();
+  Cycle cycles = run_on_core0(cl, b.build());
+  const CorePerf& p = cl.core(0).perf();
+  EXPECT_EQ(p.fp_instrs, 800u);
+  EXPECT_GT(p.int_instrs, 100u);
+  // IPC above 1: both units retired work in the same window.
+  double ipc = static_cast<double>(p.total_instrs()) /
+               static_cast<double>(cycles);
+  EXPECT_GT(ipc, 1.1);
+}
+
+TEST(Core, CsrrCycleIsMonotone) {
+  Cluster cl;
+  ProgramBuilder b;
+  b.csrr_cycle(x(5));
+  b.nop();
+  b.nop();
+  b.csrr_cycle(x(6));
+  b.halt();
+  run_on_core0(cl, b.build());
+  EXPECT_GT(cl.core(0).xreg(6), cl.core(0).xreg(5));
+}
+
+TEST(Core, SsrMappedReadFeedsFpu) {
+  Cluster cl;
+  for (u32 i = 0; i < 8; ++i) cl.tcdm().host_write_f64(8 * i, i + 1.0);
+  ProgramBuilder b;
+  b.ssr_enable();
+  // Configure lane 2 as an affine read of 8 elements, then sum them.
+  b.li(x(5), 8);
+  b.scfgwi(x(5), 2, kSsrBound0);
+  b.li(x(5), 8);
+  b.scfgwi(x(5), 2, kSsrStride0);
+  b.li(x(5), 1);
+  b.scfgwi(x(5), 2, kSsrBound1);
+  b.li(x(5), 1);
+  b.scfgwi(x(5), 2, kSsrBound2);
+  b.li(x(5), 1);
+  b.scfgwi(x(5), 2, kSsrBound3);
+  b.li(x(5), 0);
+  b.scfgwi(x(5), 2, kSsrLaunchRead);
+  for (u32 i = 0; i < 8; ++i) b.fadd_d(f(4), f(4), kFt2);
+  b.ssr_disable();
+  b.halt();
+  run_on_core0(cl, b.build());
+  EXPECT_DOUBLE_EQ(cl.core(0).freg(4), 36.0);  // 1+2+...+8
+}
+
+TEST(Core, FpuQueueBackpressuresFetch) {
+  // Dependent chain of fmadds: the FPU falls behind, the queue fills, and
+  // the integer core records queue-full stalls.
+  Cluster cl;
+  ProgramBuilder b;
+  b.li(x(5), 0);
+  b.li(x(6), 30);
+  b.bind("loop");
+  for (u32 i = 0; i < 6; ++i) b.fmadd_d(f(4), f(4), f(4), f(4));
+  b.addi(x(5), x(5), 1);
+  b.bne(x(5), x(6), "loop");
+  b.halt();
+  run_on_core0(cl, b.build());
+  EXPECT_GT(cl.core(0).perf().stall_fpu_queue_full, 0u);
+}
+
+TEST(Core, ResetClearsState) {
+  Cluster cl;
+  ProgramBuilder b;
+  b.li(x(5), 99);
+  b.halt();
+  run_on_core0(cl, b.build());
+  EXPECT_EQ(cl.core(0).xreg(5), 99u);
+  cl.core(0).reset();
+  EXPECT_EQ(cl.core(0).xreg(5), 0u);
+  EXPECT_FALSE(cl.core(0).halted());
+}
+
+TEST(ICache, HitsAfterColdMiss) {
+  ICache ic(16, 2, 32, 10);
+  EXPECT_EQ(ic.access(0), 10u);   // cold miss
+  EXPECT_EQ(ic.access(4), 0u);    // same line
+  EXPECT_EQ(ic.access(28), 0u);
+  EXPECT_EQ(ic.access(32), 10u);  // next line
+  EXPECT_EQ(ic.misses(), 2u);
+  EXPECT_EQ(ic.hits(), 2u);
+}
+
+TEST(ICache, LruEviction) {
+  // 1 set, 2 ways, 32-B lines: three distinct lines thrash.
+  ICache ic(1, 2, 32, 10);
+  EXPECT_EQ(ic.access(0), 10u);
+  EXPECT_EQ(ic.access(32), 10u);
+  EXPECT_EQ(ic.access(0), 0u);    // still resident
+  EXPECT_EQ(ic.access(64), 10u);  // evicts 32 (LRU)
+  EXPECT_EQ(ic.access(32), 10u);
+}
+
+}  // namespace
+}  // namespace saris

@@ -1,0 +1,111 @@
+// Unit tests: event-energy power model.
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hpp"
+#include "runtime/kernel_runner.hpp"
+#include "stencil/codes.hpp"
+
+namespace saris {
+namespace {
+
+RunMetrics tiny_metrics() {
+  RunMetrics m;
+  m.cycles = 1000;
+  m.fpu_useful_ops = 4000;  // 0.5/core-cycle on 8 cores
+  m.fp_instrs = 4500;
+  m.fp_loads = 300;
+  m.fp_stores = 100;
+  m.int_instrs = 2000;
+  m.tcdm_accesses = 5000;
+  m.icache_hits = 6000;
+  m.icache_misses = 10;
+  m.ssr_elems = 3000;
+  m.dma_bytes = 10000;
+  m.core_busy.assign(8, 1000);
+  m.per_core.resize(8);
+  m.flops = 6000;
+  return m;
+}
+
+TEST(Energy, PowerIsPositiveAndDecomposes) {
+  PowerReport r = estimate_power(tiny_metrics(), 1000);
+  EXPECT_GT(r.dynamic_mw, 0.0);
+  EXPECT_GT(r.static_mw, 0.0);
+  EXPECT_NEAR(r.total_mw, r.dynamic_mw + r.static_mw, 1e-9);
+  EXPECT_GT(r.energy_uj, 0.0);
+  EXPECT_NEAR(r.uj_per_point, r.energy_uj / 1000.0, 1e-12);
+}
+
+TEST(Energy, EnergyEqualsPowerTimesTime) {
+  RunMetrics m = tiny_metrics();
+  PowerReport r = estimate_power(m, 1000);
+  double seconds = static_cast<double>(m.cycles) / 1e9;
+  EXPECT_NEAR(r.energy_uj, r.total_mw * 1e-3 * seconds * 1e6, 1e-9);
+}
+
+TEST(Energy, MoreFpuWorkMorePower) {
+  RunMetrics lo = tiny_metrics();
+  RunMetrics hi = tiny_metrics();
+  hi.fpu_useful_ops *= 2;
+  hi.fp_instrs = hi.fpu_useful_ops + 500;
+  EXPECT_GT(estimate_power(hi, 1000).total_mw,
+            estimate_power(lo, 1000).total_mw);
+}
+
+TEST(Energy, ParamSensitivity) {
+  RunMetrics m = tiny_metrics();
+  EnergyParams cheap;
+  cheap.pj_fpu_op = 10.0;
+  EnergyParams costly;
+  costly.pj_fpu_op = 40.0;
+  EXPECT_GT(estimate_power(m, 1000, costly).total_mw,
+            estimate_power(m, 1000, cheap).total_mw);
+}
+
+TEST(Energy, StaticPowerDominatesIdleWindow) {
+  RunMetrics m = tiny_metrics();
+  m.fpu_useful_ops = m.fp_instrs = m.int_instrs = 0;
+  m.fp_loads = m.fp_stores = 0;
+  m.tcdm_accesses = m.icache_hits = m.icache_misses = 0;
+  m.ssr_elems = m.dma_bytes = 0;
+  m.core_busy.assign(8, 0);
+  EnergyParams p;
+  PowerReport r = estimate_power(m, 1000, p);
+  EXPECT_NEAR(r.total_mw, p.mw_static, 1e-9);
+}
+
+TEST(Energy, EfficiencyGainDefinition) {
+  PowerReport base;
+  base.uj_per_point = 2.0;
+  PowerReport saris_r;
+  saris_r.uj_per_point = 1.0;
+  EXPECT_DOUBLE_EQ(efficiency_gain(base, saris_r), 2.0);
+}
+
+// ---- end-to-end shape checks against the paper's Figure 4 ----
+
+TEST(EnergyEndToEnd, SarisDrawsMorePowerButLessEnergy) {
+  const StencilCode& sc = code_by_name("jacobi_2d");
+  auto [base, saris_m] = run_both(sc);
+  PowerReport rb = estimate_power(base, sc.interior_points());
+  PowerReport rs = estimate_power(saris_m, sc.interior_points());
+  // Higher FPU utilization -> higher power draw...
+  EXPECT_GT(rs.total_mw, rb.total_mw);
+  // ...but the speedup wins: net energy per point drops.
+  EXPECT_GT(efficiency_gain(rb, rs), 1.0);
+}
+
+TEST(EnergyEndToEnd, PowerInPlausibleClusterRange) {
+  const StencilCode& sc = code_by_name("star2d3r");
+  auto [base, saris_m] = run_both(sc);
+  PowerReport rb = estimate_power(base, sc.interior_points());
+  PowerReport rs = estimate_power(saris_m, sc.interior_points());
+  // Calibration targets (paper geomeans 227/390 mW); wide tolerance.
+  EXPECT_GT(rb.total_mw, 120.0);
+  EXPECT_LT(rb.total_mw, 350.0);
+  EXPECT_GT(rs.total_mw, 250.0);
+  EXPECT_LT(rs.total_mw, 520.0);
+}
+
+}  // namespace
+}  // namespace saris

@@ -1,0 +1,183 @@
+// Unit tests: FREP sequencer — capture/replay counts, register staggering,
+// and end-to-end FREP program behaviour.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "core/frep.hpp"
+#include "isa/builder.hpp"
+
+namespace saris {
+namespace {
+
+Instr fadd(u8 rd, u8 a, u8 b) {
+  Instr in;
+  in.op = Op::kFaddD;
+  in.frd = f(rd);
+  in.frs1 = f(a);
+  in.frs2 = f(b);
+  return in;
+}
+
+TEST(FrepSequencer, CaptureThenReplayCount) {
+  FrepSequencer s;
+  s.start(/*reps=*/3, /*body_len=*/2);
+  EXPECT_TRUE(s.capturing());
+  s.capture(fadd(4, 5, 6));
+  s.capture(fadd(7, 8, 9));
+  EXPECT_FALSE(s.capturing());
+  EXPECT_TRUE(s.replaying());
+  // Two remaining iterations -> four injected instructions.
+  u32 n = 0;
+  while (s.has_next()) {
+    s.next();
+    ++n;
+  }
+  EXPECT_EQ(n, 4u);
+  EXPECT_FALSE(s.busy());
+}
+
+TEST(FrepSequencer, SingleIterationReplaysNothing) {
+  FrepSequencer s;
+  s.start(1, 1);
+  s.capture(fadd(4, 5, 6));
+  EXPECT_FALSE(s.busy());
+}
+
+TEST(FrepSequencer, StaggerRotatesRegistersAboveBase) {
+  FrepSequencer s;
+  s.start(/*reps=*/4, /*body_len=*/1, /*stagger=*/2, /*stagger_base=*/10);
+  s.capture(fadd(10, 9, 11));  // rd and rs2 above base, rs1 below
+  // Iterations 1, 2, 3 -> offsets 1, 0, 1.
+  Instr i1 = s.next();
+  EXPECT_EQ(i1.frd.idx, 11);
+  EXPECT_EQ(i1.frs1.idx, 9);   // below base: untouched
+  EXPECT_EQ(i1.frs2.idx, 12);
+  Instr i2 = s.next();
+  EXPECT_EQ(i2.frd.idx, 10);
+  Instr i3 = s.next();
+  EXPECT_EQ(i3.frd.idx, 11);
+  EXPECT_FALSE(s.busy());
+}
+
+TEST(FrepSequencer, NoStaggerKeepsRegisters) {
+  FrepSequencer s;
+  s.start(2, 1);
+  s.capture(fadd(20, 21, 22));
+  Instr i1 = s.next();
+  EXPECT_EQ(i1.frd.idx, 20);
+  EXPECT_EQ(i1.frs1.idx, 21);
+}
+
+TEST(FrepSequencerDeath, OversizeBodyAborts) {
+  FrepSequencer s;
+  EXPECT_DEATH(s.start(2, kFrepBufferDepth + 1), "exceeds buffer");
+}
+
+TEST(FrepSequencerDeath, ZeroRepsAborts) {
+  FrepSequencer s;
+  EXPECT_DEATH(s.start(0, 1), "zero repetitions");
+}
+
+TEST(FrepSequencerDeath, NonComputeBodyAborts) {
+  FrepSequencer s;
+  s.start(2, 1);
+  Instr ld;
+  ld.op = Op::kFld;
+  EXPECT_DEATH(s.capture(ld), "FP compute");
+}
+
+// ---- end-to-end on a core ----
+
+Cycle run_core0(Cluster& cl, Program p) {
+  for (u32 c = 1; c < cl.num_cores(); ++c) {
+    ProgramBuilder b;
+    b.halt();
+    cl.core(c).load_program(b.build());
+  }
+  cl.core(0).load_program(std::move(p));
+  return cl.run_until_halted();
+}
+
+TEST(Frep, ComputesRepeatedBody) {
+  // f4 += 1.0, 32 times via FREP.
+  Cluster cl;
+  cl.tcdm().host_write_f64(0, 1.0);
+  ProgramBuilder b;
+  b.li(x(5), 0);
+  b.fld(f(5), x(5), 0);  // 1.0
+  b.li(x(6), 32);
+  b.frep(x(6), 1);
+  b.fadd_d(f(4), f(4), f(5));
+  b.halt();
+  run_core0(cl, b.build());
+  EXPECT_DOUBLE_EQ(cl.core(0).freg(4), 32.0);
+}
+
+TEST(Frep, StaggeredAccumulatorsAreIndependent) {
+  // Body writes a staggered accumulator (base f10, stagger 2): iterations
+  // alternate f10/f11, each accumulating half the iterations.
+  Cluster cl;
+  cl.tcdm().host_write_f64(0, 1.0);
+  ProgramBuilder b;
+  b.li(x(5), 0);
+  b.fld(f(5), x(5), 0);
+  b.li(x(6), 10);
+  b.frep(x(6), 1, /*stagger=*/2, /*stagger_base=*/10);
+  b.fadd_d(f(10), f(10), f(5));
+  b.halt();
+  run_core0(cl, b.build());
+  EXPECT_DOUBLE_EQ(cl.core(0).freg(10), 5.0);
+  EXPECT_DOUBLE_EQ(cl.core(0).freg(11), 5.0);
+}
+
+TEST(Frep, FasterThanEquivalentBranchLoop) {
+  // The same 200 independent FP ops: FREP variant avoids per-iteration
+  // fetch of the branch/counter and must be faster.
+  auto build_frep = [] {
+    ProgramBuilder b;
+    b.li(x(6), 100);
+    b.frep(x(6), 2);
+    b.fadd_d(f(4), f(4), f(5));
+    b.fadd_d(f(6), f(6), f(5));
+    b.halt();
+    return b.build();
+  };
+  auto build_loop = [] {
+    ProgramBuilder b;
+    b.li(x(6), 100);
+    b.li(x(5), 0);
+    b.bind("loop");
+    b.fadd_d(f(4), f(4), f(5));
+    b.fadd_d(f(6), f(6), f(5));
+    b.addi(x(5), x(5), 1);
+    b.bne(x(5), x(6), "loop");
+    b.halt();
+    return b.build();
+  };
+  Cluster c1, c2;
+  Cycle t_frep = run_core0(c1, build_frep());
+  Cycle t_loop = run_core0(c2, build_loop());
+  EXPECT_LT(t_frep, t_loop);
+  // FREP should approach 1 op/cycle: ~200 cycles + small overhead.
+  EXPECT_LT(t_frep, 260u);
+  // The branch loop pays (addi + bne + penalty) per iteration.
+  EXPECT_GT(t_loop, 380u);
+}
+
+TEST(Frep, SecondFrepWaitsForFirst) {
+  Cluster cl;
+  ProgramBuilder b;
+  b.li(x(6), 20);
+  b.frep(x(6), 1);
+  b.fadd_d(f(4), f(4), f(5));
+  b.frep(x(6), 1);
+  b.fmul_d(f(6), f(6), f(6));
+  b.halt();
+  run_core0(cl, b.build());
+  const CorePerf& p = cl.core(0).perf();
+  EXPECT_EQ(p.fp_instrs, 40u);
+  EXPECT_GT(p.stall_seq_busy, 0u);  // the second frep had to wait
+}
+
+}  // namespace
+}  // namespace saris

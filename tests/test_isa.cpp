@@ -1,0 +1,214 @@
+// Unit tests: ISA IR — builder, label resolution, constant materialization,
+// instruction-mix accounting, frep encoding, disassembly.
+#include <gtest/gtest.h>
+
+#include "isa/builder.hpp"
+#include "isa/disasm.hpp"
+
+namespace saris {
+namespace {
+
+TEST(Opcode, ClassesAndNames) {
+  EXPECT_EQ(op_class(Op::kAddi), OpClass::kInt);
+  EXPECT_EQ(op_class(Op::kLw), OpClass::kIntMem);
+  EXPECT_EQ(op_class(Op::kBne), OpClass::kBranch);
+  EXPECT_EQ(op_class(Op::kFmaddD), OpClass::kFpCompute);
+  EXPECT_EQ(op_class(Op::kFld), OpClass::kFpMem);
+  EXPECT_EQ(op_class(Op::kFrep), OpClass::kSys);
+  EXPECT_EQ(op_name(Op::kFmaddD), "fmadd.d");
+}
+
+TEST(Opcode, FlopAccounting) {
+  EXPECT_EQ(flops_of(Op::kFaddD), 1u);
+  EXPECT_EQ(flops_of(Op::kFmulD), 1u);
+  EXPECT_EQ(flops_of(Op::kFmaddD), 2u);
+  EXPECT_EQ(flops_of(Op::kFnmsubD), 2u);
+  EXPECT_EQ(flops_of(Op::kFld), 0u);
+  EXPECT_EQ(flops_of(Op::kFsgnjD), 0u);
+  EXPECT_TRUE(is_useful_fpu_op(Op::kFsubD));
+  EXPECT_FALSE(is_useful_fpu_op(Op::kFsd));
+}
+
+TEST(Opcode, FpOpPredicate) {
+  EXPECT_TRUE(is_fp_op(Op::kFld));
+  EXPECT_TRUE(is_fp_op(Op::kFmulD));
+  EXPECT_FALSE(is_fp_op(Op::kAddi));
+  EXPECT_FALSE(is_fp_op(Op::kFrep));
+}
+
+TEST(Builder, BackwardBranchResolves) {
+  ProgramBuilder b;
+  b.bind("loop");
+  b.addi(x(5), x(5), 1);
+  b.bne(x(5), x(6), "loop");
+  b.halt();
+  Program p = b.build();
+  EXPECT_EQ(p.at(1).target, 0u);
+}
+
+TEST(Builder, ForwardBranchResolves) {
+  ProgramBuilder b;
+  b.beq(x(5), x(6), "done");
+  b.addi(x(5), x(5), 1);
+  b.bind("done");
+  b.halt();
+  Program p = b.build();
+  EXPECT_EQ(p.at(0).target, 2u);
+}
+
+TEST(Builder, LiSmallIsSingleAddi) {
+  ProgramBuilder b;
+  b.li(x(5), 42);
+  b.halt();
+  Program p = b.build();
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.at(0).op, Op::kAddi);
+  EXPECT_EQ(p.at(0).imm, 42);
+}
+
+TEST(Builder, LiLargeUsesLuiAddi) {
+  ProgramBuilder b;
+  b.li(x(5), 0x12345);
+  b.halt();
+  Program p = b.build();
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.at(0).op, Op::kLui);
+  EXPECT_EQ(p.at(1).op, Op::kAddi);
+  // lui(hi) + addi(lo) must reconstruct the constant.
+  i32 v = (p.at(0).imm << 12) + p.at(1).imm;
+  EXPECT_EQ(v, 0x12345);
+}
+
+class LiRoundTrip : public ::testing::TestWithParam<i32> {};
+
+TEST_P(LiRoundTrip, Reconstructs) {
+  i32 value = GetParam();
+  ProgramBuilder b;
+  b.li(x(5), value);
+  b.halt();
+  Program p = b.build();
+  i32 acc = 0;
+  for (u32 i = 0; i < p.size() - 1; ++i) {
+    const Instr& in = p.at(i);
+    if (in.op == Op::kLui) {
+      acc = in.imm << 12;
+    } else {
+      ASSERT_EQ(in.op, Op::kAddi);
+      acc += in.imm;
+    }
+  }
+  EXPECT_EQ(acc, value);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, LiRoundTrip,
+                         ::testing::Values(0, 1, -1, 2047, -2048, 2048, -2049,
+                                           0x7FF, 0x800, 0xFFF, 0x1000,
+                                           131071, -131072, 0x0001FFF8,
+                                           0x7FFFFFFF, -2147483647));
+
+TEST(Builder, FrepImmEncoding) {
+  ProgramBuilder b;
+  b.li(x(5), 4);
+  b.frep(x(5), 3, 2, 10);
+  b.fadd_d(f(11), f(12), f(13));
+  b.fmul_d(f(11), f(12), f(13));
+  b.fmadd_d(f(11), f(12), f(13), f(14));
+  b.halt();
+  Program p = b.build();
+  const Instr& fr = p.at(1);
+  EXPECT_EQ(frep_body_len(fr.imm), 3u);
+  EXPECT_EQ(frep_stagger(fr.imm), 2u);
+  EXPECT_EQ(frep_stagger_base(fr.imm), 10u);
+}
+
+TEST(BuilderDeath, FrepBodyMustBeFp) {
+  ProgramBuilder b;
+  b.frep(x(5), 2);
+  b.fadd_d(f(11), f(12), f(13));
+  b.addi(x(6), x(6), 1);  // not FP
+  b.halt();
+  EXPECT_DEATH(b.build(), "not an FP op");
+}
+
+TEST(BuilderDeath, UnresolvedLabelAborts) {
+  ProgramBuilder b;
+  b.bne(x(5), x(6), "nowhere");
+  EXPECT_DEATH(b.build(), "unresolved label");
+}
+
+TEST(BuilderDeath, ImmediateRangeChecked) {
+  ProgramBuilder b;
+  EXPECT_DEATH(b.addi(x(5), x(5), 5000), "out of range");
+  EXPECT_DEATH(b.fld(f(5), x(5), -3000), "out of range");
+}
+
+TEST(BuilderDeath, RawRejectsBranches) {
+  ProgramBuilder b;
+  Instr in;
+  in.op = Op::kBne;
+  EXPECT_DEATH(b.raw(in), "branches");
+}
+
+TEST(Program, MixCountsCategories) {
+  ProgramBuilder b;
+  b.addi(x(5), x(5), 1);   // int
+  b.lw(x(6), x(5), 0);     // int mem
+  b.fld(f(4), x(5), 0);    // fp mem
+  b.fmadd_d(f(5), f(4), f(4), f(5));  // fp compute
+  b.fmv_d(f(6), f(5));     // move: sys bucket
+  b.bne(x(5), x(6), "end");
+  b.bind("end");
+  b.halt();
+  Program::Mix m = b.build().mix();
+  EXPECT_EQ(m.total, 7u);
+  EXPECT_EQ(m.int_alu, 1u);
+  EXPECT_EQ(m.int_mem, 1u);
+  EXPECT_EQ(m.fp_mem, 1u);
+  EXPECT_EQ(m.fp_compute, 1u);
+  EXPECT_EQ(m.branch, 1u);
+  EXPECT_EQ(m.sys, 2u);  // fmv + halt
+}
+
+TEST(Program, MixRange) {
+  ProgramBuilder b;
+  b.fadd_d(f(4), f(5), f(6));
+  b.fadd_d(f(4), f(5), f(6));
+  b.halt();
+  Program p = b.build();
+  EXPECT_EQ(p.mix(0, 1).fp_compute, 1u);
+  EXPECT_EQ(p.mix(1, 2).fp_compute, 1u);
+}
+
+TEST(Program, LabelLookup) {
+  ProgramBuilder b;
+  b.nop();
+  b.bind("here");
+  b.halt();
+  Program p = b.build();
+  EXPECT_TRUE(p.has_label("here"));
+  EXPECT_EQ(p.label("here"), 1u);
+  EXPECT_FALSE(p.has_label("gone"));
+}
+
+TEST(Disasm, FormatsCoreOps) {
+  ProgramBuilder b;
+  b.addi(x(5), x(6), -8);
+  b.fmadd_d(f(4), f(0), f(1), f(4));
+  b.fld(f(7), x(5), 16);
+  b.frep(x(6), 2, 3, 8);
+  b.fadd_d(f(9), f(9), f(10));
+  b.fadd_d(f(9), f(9), f(10));
+  b.halt();
+  Program p = b.build();
+  EXPECT_EQ(disasm(p.at(0)), "addi x5, x6, -8");
+  EXPECT_EQ(disasm(p.at(1)), "fmadd.d f4, ft0, ft1, f4");
+  EXPECT_EQ(disasm(p.at(2)), "fld f7, 16(x5)");
+  EXPECT_EQ(disasm(p.at(3)), "frep.o x6, body=2, stagger=3@f8");
+  // Whole-program disassembly emits one line per instruction.
+  std::string all = disasm(p);
+  EXPECT_EQ(std::count(all.begin(), all.end(), '\n'),
+            static_cast<long>(p.size()));
+}
+
+}  // namespace
+}  // namespace saris

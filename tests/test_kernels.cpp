@@ -1,0 +1,61 @@
+// End-to-end integration tests: every stencil code of Table 1 runs on the
+// simulated cluster in both variants, its output matches the golden
+// reference, and the FLOP/structure invariants of the paper hold.
+#include <gtest/gtest.h>
+
+#include "runtime/kernel_runner.hpp"
+#include "stencil/codes.hpp"
+
+namespace saris {
+namespace {
+
+class KernelTest : public ::testing::TestWithParam<
+                       std::tuple<std::string, KernelVariant>> {};
+
+TEST_P(KernelTest, MatchesReferenceAndFlopCount) {
+  const auto& [name, variant] = GetParam();
+  const StencilCode& sc = code_by_name(name);
+  RunConfig cfg;
+  cfg.variant = variant;
+  cfg.seed = 42;
+  RunMetrics m = run_kernel(sc, cfg);  // aborts internally on mismatch
+  EXPECT_LE(m.max_rel_err, cfg.tolerance);
+  EXPECT_EQ(m.flops,
+            static_cast<u64>(sc.flops_per_point()) * sc.interior_points());
+  EXPECT_GT(m.cycles, 0u);
+  // Every core did some useful work.
+  for (const CorePerf& p : m.per_core) {
+    EXPECT_TRUE(p.halted);
+    EXPECT_GT(p.fpu_useful_ops, 0u);
+  }
+}
+
+std::vector<std::tuple<std::string, KernelVariant>> all_params() {
+  std::vector<std::tuple<std::string, KernelVariant>> ps;
+  for (const StencilCode& sc : all_codes()) {
+    ps.emplace_back(sc.name, KernelVariant::kBase);
+    ps.emplace_back(sc.name, KernelVariant::kSaris);
+  }
+  return ps;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodes, KernelTest, ::testing::ValuesIn(all_params()),
+    [](const ::testing::TestParamInfo<KernelTest::ParamType>& info) {
+      return std::get<0>(info.param) +
+             std::string("_") + variant_name(std::get<1>(info.param));
+    });
+
+TEST(KernelContract, SarisFasterThanBase) {
+  // The headline claim on the cheapest code: saris beats base clearly.
+  const StencilCode& sc = code_by_name("jacobi_2d");
+  auto [base, saris] = run_both(sc);
+  double speedup = static_cast<double>(base.cycles) /
+                   static_cast<double>(saris.cycles);
+  EXPECT_GT(speedup, 1.5) << "base=" << base.cycles
+                          << " saris=" << saris.cycles;
+  EXPECT_GT(saris.fpu_util(), base.fpu_util());
+}
+
+}  // namespace
+}  // namespace saris

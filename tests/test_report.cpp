@@ -1,0 +1,68 @@
+// Unit tests: report formatting (tables, CSV).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "report/csv.hpp"
+#include "report/table.hpp"
+
+namespace saris {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"a", "long header"});
+  t.add_row({"xxxx", "1"});
+  std::string s = t.str();
+  std::istringstream is(s);
+  std::string l1, l2, l3;
+  std::getline(is, l1);
+  std::getline(is, l2);
+  std::getline(is, l3);
+  EXPECT_EQ(l1.size(), l2.size());
+  EXPECT_EQ(l1.size(), l3.size());
+  EXPECT_NE(l1.find("long header"), std::string::npos);
+  EXPECT_NE(l3.find("xxxx"), std::string::npos);
+}
+
+TEST(TextTable, FmtAndPct) {
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::fmt(2.0, 0), "2");
+  EXPECT_EQ(TextTable::pct(0.81), "81%");
+  EXPECT_EQ(TextTable::pct(0.815, 1), "81.5%");
+}
+
+TEST(TextTableDeath, RowWidthMismatchAborts) {
+  TextTable t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only one"}), "width");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  std::string path = ::testing::TempDir() + "saris_test.csv";
+  {
+    CsvWriter w(path, {"x", "y"});
+    ASSERT_TRUE(w.ok());
+    w.add_row({"1", "2"});
+    w.add_row({"a,b", "quote\"inside"});
+  }
+  std::ifstream in(path);
+  std::string l1, l2, l3;
+  std::getline(in, l1);
+  std::getline(in, l2);
+  std::getline(in, l3);
+  EXPECT_EQ(l1, "x,y");
+  EXPECT_EQ(l2, "1,2");
+  // Escaping: comma field quoted, quote doubled.
+  EXPECT_EQ(l3, "\"a,b\",\"quote\"\"inside\"");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, BadPathIsNonFatal) {
+  CsvWriter w("/nonexistent_dir_zzz/out.csv", {"a"});
+  EXPECT_FALSE(w.ok());
+  w.add_row({"1"});  // silently ignored
+}
+
+}  // namespace
+}  // namespace saris

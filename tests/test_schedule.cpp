@@ -1,0 +1,157 @@
+// Unit tests: point-loop schedule generation — the FLOP-preservation
+// property of reassociation (any chain count yields Table 1's FLOPs),
+// structural well-formedness, pair pipelining.
+#include <gtest/gtest.h>
+
+#include "codegen/schedule.hpp"
+#include "stencil/codes.hpp"
+
+namespace saris {
+namespace {
+
+// FLOPs are invariant under reassociation width — the property that makes
+// every simulated variant hit Table 1's counts exactly.
+class ChainsSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, u32>> {};
+
+TEST_P(ChainsSweep, FlopCountPreserved) {
+  const auto& [name, chains] = GetParam();
+  const StencilCode& sc = code_by_name(name);
+  Schedule s = make_schedule(sc, chains);
+  EXPECT_EQ(s.flops(), sc.flops_per_point());
+}
+
+TEST_P(ChainsSweep, ExactlyOneFinalOpAndItIsLast) {
+  const auto& [name, chains] = GetParam();
+  const StencilCode& sc = code_by_name(name);
+  Schedule s = make_schedule(sc, chains);
+  u32 finals = 0;
+  for (const Step& st : s.steps) finals += st.final_out ? 1 : 0;
+  EXPECT_EQ(finals, 1u);
+  EXPECT_TRUE(s.steps.back().final_out);
+}
+
+TEST_P(ChainsSweep, EveryTapConsumedOnce) {
+  const auto& [name, chains] = GetParam();
+  const StencilCode& sc = code_by_name(name);
+  Schedule s = make_schedule(sc, chains);
+  std::vector<u32> uses(sc.loads_per_point(), 0);
+  for (const Step& st : s.steps) {
+    if (st.tap_a >= 0) ++uses[static_cast<u32>(st.tap_a)];
+    if (st.tap_b >= 0) ++uses[static_cast<u32>(st.tap_b)];
+  }
+  for (u32 u : uses) EXPECT_EQ(u, 1u);
+}
+
+TEST_P(ChainsSweep, PairProducersAndConsumersBalance) {
+  const auto& [name, chains] = GetParam();
+  const StencilCode& sc = code_by_name(name);
+  Schedule s = make_schedule(sc, chains);
+  i32 in_flight = 0;
+  i32 max_in_flight = 0;
+  for (const Step& st : s.steps) {
+    if (st.kind == StepKind::kPairAdd) ++in_flight;
+    if (st.kind == StepKind::kFmaPair || st.kind == StepKind::kSeedMulPair) {
+      --in_flight;
+    }
+    ASSERT_GE(in_flight, 0) << "pair consumed before produced";
+    max_in_flight = std::max(max_in_flight, in_flight);
+  }
+  EXPECT_EQ(in_flight, 0);
+  if (max_in_flight > 0) {
+    EXPECT_LE(static_cast<u32>(max_in_flight), s.tmp_regs);
+  }
+}
+
+TEST_P(ChainsSweep, ChainIndicesWithinBounds) {
+  const auto& [name, chains] = GetParam();
+  const StencilCode& sc = code_by_name(name);
+  Schedule s = make_schedule(sc, chains);
+  EXPECT_GE(s.chains, 1u);
+  EXPECT_LE(s.chains, chains);
+  for (const Step& st : s.steps) {
+    EXPECT_GE(st.chain, 0);
+    EXPECT_LT(st.chain, static_cast<i32>(s.chains));
+  }
+}
+
+std::vector<std::tuple<std::string, u32>> chains_params() {
+  std::vector<std::tuple<std::string, u32>> ps;
+  for (const StencilCode& sc : all_codes()) {
+    for (u32 k : {1u, 2u, 3u, 4u}) ps.emplace_back(sc.name, k);
+  }
+  return ps;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodesAllChains, ChainsSweep, ::testing::ValuesIn(chains_params()),
+    [](const ::testing::TestParamInfo<ChainsSweep::ParamType>& info) {
+      return std::get<0>(info.param) + "_k" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Schedule, JacobiSumScaleShape) {
+  const StencilCode& sc = code_by_name("jacobi_2d");
+  Schedule s = make_schedule(sc, 2);
+  // 2 seed adds + 1 add + 1 combine + 1 scale = 5 ops, 5 FLOPs.
+  EXPECT_EQ(s.ops(), 5u);
+  EXPECT_EQ(s.steps.back().kind, StepKind::kScale);
+}
+
+TEST(Schedule, AcIsoEndsWithPrevSubtract) {
+  const StencilCode& sc = code_by_name("ac_iso_cd");
+  Schedule s = make_schedule(sc, 2);
+  EXPECT_EQ(s.steps.back().kind, StepKind::kSubTap);
+  EXPECT_EQ(s.steps.back().tap_a,
+            static_cast<i32>(sc.loads_per_point()) - 1);
+}
+
+TEST(Schedule, ConstTermSeedsChainZero) {
+  const StencilCode& sc = code_by_name("j2d5pt");
+  Schedule s = make_schedule(sc, 2);
+  bool found = false;
+  for (const Step& st : s.steps) {
+    if (st.kind == StepKind::kSeedMulTapConst) {
+      EXPECT_EQ(st.chain, 0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Schedule, NoConstSeedWithoutConstTerm) {
+  const StencilCode& sc = code_by_name("box2d1r");
+  Schedule s = make_schedule(sc, 3);
+  for (const Step& st : s.steps) {
+    EXPECT_NE(st.kind, StepKind::kSeedMulTapConst);
+  }
+}
+
+TEST(Schedule, PairPipelineDepthControlsTmpRegs) {
+  const StencilCode& sc = code_by_name("ac_iso_cd");
+  Schedule s1 = make_schedule(sc, 2, /*pair_pipeline=*/1);
+  Schedule s3 = make_schedule(sc, 2, /*pair_pipeline=*/3);
+  EXPECT_LT(s1.tmp_regs, s3.tmp_regs);
+  EXPECT_EQ(s1.flops(), s3.flops());
+}
+
+TEST(Schedule, LowerStepOpMapping) {
+  EXPECT_EQ(lower_step_op(StepKind::kSeedMulTap), Op::kFmulD);
+  EXPECT_EQ(lower_step_op(StepKind::kSeedMulTapConst), Op::kFmaddD);
+  EXPECT_EQ(lower_step_op(StepKind::kFmaTap), Op::kFmaddD);
+  EXPECT_EQ(lower_step_op(StepKind::kPairAdd), Op::kFaddD);
+  EXPECT_EQ(lower_step_op(StepKind::kCombine), Op::kFaddD);
+  EXPECT_EQ(lower_step_op(StepKind::kScale), Op::kFmulD);
+  EXPECT_EQ(lower_step_op(StepKind::kSubTap), Op::kFsubD);
+}
+
+TEST(Schedule, DefaultChainsReasonable) {
+  for (const StencilCode& sc : all_codes()) {
+    u32 k = default_chains(sc);
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 3u);
+  }
+}
+
+}  // namespace
+}  // namespace saris
