@@ -1,0 +1,157 @@
+// Simulator-throughput harness: wall-clock simulated-cycles-per-second of
+// the cycle loop across the fig3a sweep (all Table 1 codes, base and saris
+// variants), for the event-aware hot path and for the dense-scan baseline
+// (ClusterConfig::event_driven = false). The two variants of each code run
+// on independent Cluster instances in parallel threads.
+//
+// Emits BENCH_sim_throughput.json so the perf trajectory is tracked across
+// PRs. Usage:
+//   sim_throughput [--min-speedup X] [--json PATH]
+// Exits nonzero when the event-driven/dense speedup falls below X (used as
+// the CI non-regression gate).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "report/table.hpp"
+#include "runtime/kernel_runner.hpp"
+#include "stencil/codes.hpp"
+
+namespace {
+
+using namespace saris;
+
+struct RunResult {
+  std::string code;
+  const char* variant;
+  Cycle cycles = 0;
+  double step_seconds = 0.0;
+};
+
+struct ModeResult {
+  std::vector<RunResult> runs;
+  u64 total_cycles = 0;
+  double step_seconds = 0.0;
+  double cycles_per_second() const {
+    return step_seconds > 0.0 ? static_cast<double>(total_cycles) / step_seconds
+                              : 0.0;
+  }
+};
+
+ModeResult run_sweep(bool event_driven) {
+  ModeResult mode;
+  for (const StencilCode& sc : all_codes()) {
+    RunMetrics ms[2];
+    KernelVariant variants[2] = {KernelVariant::kBase, KernelVariant::kSaris};
+    // Base and saris run on independent clusters in parallel threads.
+    std::vector<std::thread> workers;
+    for (int v = 0; v < 2; ++v) {
+      workers.emplace_back([&, v] {
+        RunConfig cfg;
+        cfg.variant = variants[v];
+        cfg.cluster.event_driven = event_driven;
+        ms[v] = run_kernel(sc, cfg);
+      });
+    }
+    for (auto& w : workers) w.join();
+    for (int v = 0; v < 2; ++v) {
+      mode.runs.push_back(RunResult{sc.name, variant_name(variants[v]),
+                                    ms[v].cycles, ms[v].step_wall_seconds});
+      mode.total_cycles += ms[v].cycles;
+      mode.step_seconds += ms[v].step_wall_seconds;
+    }
+  }
+  return mode;
+}
+
+void write_json(const char* path, const ModeResult& fast,
+                const ModeResult& dense, double speedup) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    std::exit(1);
+  }
+  auto write_mode = [&](const char* name, const ModeResult& m,
+                        const char* trailer) {
+    std::fprintf(f, "    \"%s\": {\n      \"runs\": [\n", name);
+    for (std::size_t i = 0; i < m.runs.size(); ++i) {
+      const RunResult& r = m.runs[i];
+      std::fprintf(f,
+                   "        {\"code\": \"%s\", \"variant\": \"%s\", "
+                   "\"cycles\": %llu, \"step_seconds\": %.6e}%s\n",
+                   r.code.c_str(), r.variant,
+                   static_cast<unsigned long long>(r.cycles), r.step_seconds,
+                   i + 1 < m.runs.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "      ],\n      \"total_cycles\": %llu,\n"
+                 "      \"step_seconds\": %.6e,\n"
+                 "      \"cycles_per_second\": %.6e\n    }%s\n",
+                 static_cast<unsigned long long>(m.total_cycles),
+                 m.step_seconds, m.cycles_per_second(), trailer);
+  };
+  std::fprintf(f, "{\n  \"bench\": \"sim_throughput\",\n  \"modes\": {\n");
+  write_mode("event_driven", fast, ",");
+  write_mode("dense_baseline", dense, "");
+  std::fprintf(f, "  },\n  \"speedup\": %.3f\n}\n", speedup);
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double min_speedup = 0.0;
+  const char* json_path = "BENCH_sim_throughput.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--min-speedup") == 0 && i + 1 < argc) {
+      min_speedup = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--min-speedup X] [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("== Simulator throughput: event-aware vs dense-scan hot path ==\n");
+  all_codes();  // force static init before spawning worker threads
+
+  ModeResult fast = run_sweep(/*event_driven=*/true);
+  ModeResult dense = run_sweep(/*event_driven=*/false);
+
+  TextTable t({"code", "variant", "cycles", "fast Mcyc/s", "dense Mcyc/s",
+               "speedup"});
+  for (std::size_t i = 0; i < fast.runs.size(); ++i) {
+    const RunResult& rf = fast.runs[i];
+    const RunResult& rd = dense.runs[i];
+    double cf = rf.step_seconds > 0 ? rf.cycles / rf.step_seconds : 0;
+    double cd = rd.step_seconds > 0 ? rd.cycles / rd.step_seconds : 0;
+    t.add_row({rf.code, rf.variant, std::to_string(rf.cycles),
+               TextTable::fmt(cf / 1e6, 2), TextTable::fmt(cd / 1e6, 2),
+               TextTable::fmt(cd > 0 ? cf / cd : 0, 2)});
+  }
+  std::printf("%s", t.str().c_str());
+
+  double speedup = dense.cycles_per_second() > 0
+                       ? fast.cycles_per_second() / dense.cycles_per_second()
+                       : 0.0;
+  std::printf(
+      "aggregate: %.2f Mcycles/s event-driven vs %.2f Mcycles/s dense "
+      "baseline -> %.2fx\n",
+      fast.cycles_per_second() / 1e6, dense.cycles_per_second() / 1e6,
+      speedup);
+  write_json(json_path, fast, dense, speedup);
+  std::printf("wrote %s\n", json_path);
+
+  if (min_speedup > 0.0 && speedup < min_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: speedup %.2fx below required minimum %.2fx\n",
+                 speedup, min_speedup);
+    return 1;
+  }
+  return 0;
+}

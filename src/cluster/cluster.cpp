@@ -11,8 +11,15 @@ Cluster::Cluster(const ClusterConfig& cfg)
       barrier_(cfg.num_cores) {
   for (u32 i = 0; i < cfg.num_cores; ++i) {
     cores_.push_back(std::make_unique<Core>(i, tcdm_, barrier_));
+    cores_.back()->set_event_driven(cfg.event_driven);
   }
   dma_ = std::make_unique<Dma>(tcdm_, mem_);
+  tcdm_.set_dense_arbitration(!cfg.event_driven);
+  state_.assign(cfg.num_cores, CoreState::kActive);
+  last_ticked_.assign(cfg.num_cores, 0);
+  halted_seen_.assign(cfg.num_cores, false);
+  active_ids_.reserve(cfg.num_cores);
+  for (u32 i = 0; i < cfg.num_cores; ++i) active_ids_.push_back(i);
 }
 
 Core& Cluster::core(u32 i) {
@@ -20,7 +27,8 @@ Core& Cluster::core(u32 i) {
   return *cores_[i];
 }
 
-void Cluster::step() {
+void Cluster::step_dense() {
+  // Pre-refactor cycle loop: tick everything, every cycle.
   for (auto& c : cores_) c->tick(now_);
   dma_->tick(now_);
   tcdm_.arbitrate(now_);
@@ -28,7 +36,103 @@ void Cluster::step() {
   ++now_;
 }
 
+void Cluster::step() {
+  if (!cfg_.event_driven) {
+    step_dense();
+    return;
+  }
+
+  // A retired or parked core can only come back to life from the outside
+  // (load_program/reset between runs); re-admit such cores before ticking.
+  if (active_ids_.size() < cores_.size()) {
+    for (u32 id = 0; id < cores_.size(); ++id) {
+      if ((state_[id] == CoreState::kRetired && !cores_[id]->halted()) ||
+          (state_[id] == CoreState::kParked &&
+           !cores_[id]->waiting_at_barrier())) {
+        reactivate(id);
+      }
+    }
+  }
+
+  for (u32 id : active_ids_) cores_[id]->tick(now_);
+  dma_->tick(now_);
+  tcdm_.arbitrate(now_);
+  barrier_.tick(now_);
+  update_core_states();
+  ++now_;
+}
+
+void Cluster::update_core_states() {
+  // Wake parked cores first: if the barrier released this very cycle, a
+  // would-be parker must not park (it proceeds next tick, like in the
+  // dense loop).
+  if (barrier_.episodes() != barrier_episodes_seen_) {
+    barrier_episodes_seen_ = barrier_.episodes();
+    for (u32 id = 0; id < cores_.size(); ++id) {
+      if (state_[id] == CoreState::kParked) wake(id);
+    }
+  }
+
+  // Park newly idle barrier-waiters, retire halted cores whose ports have
+  // drained. Cores halted with a write ack still in flight stay active for
+  // the one tick that swallows it.
+  for (std::size_t i = 0; i < active_ids_.size();) {
+    const u32 id = active_ids_[i];
+    Core& c = *cores_[id];
+    if (c.halted() && !halted_seen_[id]) {
+      halted_seen_[id] = true;
+      ++halted_count_;
+    }
+    if (c.quiescent() &&
+        (c.halted() ||
+         (c.waiting_at_barrier() && !barrier_.released(id)))) {
+      state_[id] = c.halted() ? CoreState::kRetired : CoreState::kParked;
+      last_ticked_[id] = now_;
+      active_ids_[i] = active_ids_.back();
+      active_ids_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+void Cluster::wake(u32 id) {
+  // The dense loop would have ticked this core on every skipped cycle and
+  // on the release cycle itself: one FPU idle bump and one barrier stall
+  // each. `now_` has not advanced past the release cycle yet.
+  cores_[id]->credit_idle_cycles(now_ - last_ticked_[id], /*at_barrier=*/true);
+  state_[id] = CoreState::kActive;
+  last_ticked_[id] = now_;
+  active_ids_.push_back(id);
+}
+
+void Cluster::reactivate(u32 id) {
+  if (state_[id] == CoreState::kRetired) {
+    SARIS_CHECK(halted_count_ > 0, "halted count underflow");
+    --halted_count_;
+    halted_seen_[id] = false;
+  }
+  state_[id] = CoreState::kActive;
+  last_ticked_[id] = now_;
+  active_ids_.push_back(id);
+}
+
+void Cluster::sync_idle_counters() {
+  if (!cfg_.event_driven || now_ == 0) return;
+  const Cycle through = now_ - 1;  // last simulated cycle
+  for (u32 id = 0; id < cores_.size(); ++id) {
+    if (state_[id] == CoreState::kActive || last_ticked_[id] >= through) {
+      continue;
+    }
+    cores_[id]->credit_idle_cycles(
+        through - last_ticked_[id],
+        /*at_barrier=*/state_[id] == CoreState::kParked);
+    last_ticked_[id] = through;
+  }
+}
+
 bool Cluster::all_halted() const {
+  if (cfg_.event_driven) return halted_count_ == cores_.size();
   for (const auto& c : cores_) {
     if (!c->halted()) return false;
   }
@@ -42,6 +146,7 @@ Cycle Cluster::run_until_halted(Cycle max_cycles) {
                 "cluster did not halt within " << max_cycles << " cycles");
     step();
   }
+  sync_idle_counters();
   return now_ - start;
 }
 
@@ -52,6 +157,7 @@ Cycle Cluster::run_until_dma_idle(Cycle max_cycles) {
                 "DMA did not drain within " << max_cycles << " cycles");
     step();
   }
+  sync_idle_counters();
   return now_ - start;
 }
 

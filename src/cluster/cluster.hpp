@@ -1,5 +1,13 @@
 // The Snitch compute cluster: eight cores, 128 KiB / 32-bank TCDM, DMA
 // engine, hardware barrier, single clock domain.
+//
+// The cycle loop is event-aware: cores whose subsystems are all idle and
+// that are parked at the barrier (or halted) are taken off the active list
+// and skipped entirely; the ticks they would have spent idling are credited
+// back to their counters on wake-up (or lazily via sync_idle_counters), so
+// every architectural result and performance counter is bit-identical to
+// ticking everything densely. ClusterConfig::event_driven = false restores
+// the dense loop (and the dense TCDM arbiter) as a regression baseline.
 #pragma once
 
 #include <memory>
@@ -18,6 +26,11 @@ struct ClusterConfig {
   u32 tcdm_bytes = kTcdmSizeBytes;
   u32 tcdm_banks = kTcdmBanks;
   u64 main_mem_bytes = 512ull * 1024 * 1024;
+  /// Event-aware hot path: O(pending) TCDM arbitration plus idle skipping
+  /// of quiescent cores. false = the pre-refactor dense scan everywhere
+  /// (slow; kept for the arbiter-equivalence regression test and as the
+  /// sim_throughput baseline). Results are identical in both modes.
+  bool event_driven = true;
 };
 
 class Cluster {
@@ -33,10 +46,18 @@ class Cluster {
 
   Cycle now() const { return now_; }
 
-  /// Advance one cycle: cores, DMA, TCDM arbitration, barrier.
+  /// Advance one cycle: active cores, DMA, TCDM arbitration, barrier.
   void step();
 
+  /// O(1) in event-driven mode (an active halted-core count), O(cores)
+  /// under the dense baseline.
   bool all_halted() const;
+
+  /// Fold the ticks skipped for parked/retired cores into their idle
+  /// counters (FPU idle, barrier stalls) up to the current cycle. Called
+  /// automatically by the run_until_* loops; call it manually before
+  /// reading per-core counters from a hand-stepped cluster. Idempotent.
+  void sync_idle_counters();
 
   /// Step until every core has halted; returns cycles elapsed. Aborts (with
   /// a CHECK diagnostic) if `max_cycles` elapse first — a deadlocked stream
@@ -47,6 +68,17 @@ class Cluster {
   Cycle run_until_dma_idle(Cycle max_cycles = 100'000'000);
 
  private:
+  enum class CoreState : u8 {
+    kActive,   ///< ticked every cycle
+    kParked,   ///< quiescent at the barrier; woken on release
+    kRetired,  ///< halted and quiescent; never ticked again
+  };
+
+  void step_dense();
+  void wake(u32 id);
+  void reactivate(u32 id);
+  void update_core_states();
+
   ClusterConfig cfg_;
   Tcdm tcdm_;
   MainMemory mem_;
@@ -55,6 +87,14 @@ class Cluster {
   std::unique_ptr<Dma> dma_;  ///< constructed after the cores so compute
                               ///< ports precede DMA ports in arbitration
   Cycle now_ = 0;
+
+  // Event-driven bookkeeping.
+  std::vector<CoreState> state_;
+  std::vector<u32> active_ids_;
+  std::vector<Cycle> last_ticked_;  ///< counters are exact through here
+  u32 halted_count_ = 0;
+  std::vector<bool> halted_seen_;
+  u64 barrier_episodes_seen_ = 0;
 };
 
 }  // namespace saris

@@ -27,9 +27,27 @@ void Core::reset() {
   int_load_wait_ = false;
   int_store_wait_ = false;
   icache_paid_pc_ = -1;
+  quiescent_ = compute_quiescent();
+}
+
+bool Core::compute_quiescent() const {
+  return fpu_.quiescent() && ssr_.quiescent() && !seq_.busy() &&
+         !int_store_wait_ && !int_load_wait_;
 }
 
 void Core::tick(Cycle now) {
+  if (event_driven_ && quiescent_) {
+    // Fast path: with the FPU, SSR lanes, sequencer, and LSU all idle, the
+    // full traversal below reduces to one FPU idle-counter bump plus the
+    // integer step. int_step clears quiescent_ whenever it hands work to a
+    // subsystem; a stream launched by scfgwi this very cycle still gets its
+    // same-cycle SSR issue slot, exactly like the full traversal.
+    ++perf_.fpu_idle_empty;
+    int_step(now);
+    if (!quiescent_) ssr_.tick(now);
+    return;
+  }
+
   // Order matters: absorb last cycle's memory grants first so this cycle's
   // issue logic sees them; emit new SSR requests last so they use FIFO slots
   // freed this cycle.
@@ -47,6 +65,7 @@ void Core::tick(Cycle now) {
   }
   int_step(now);
   ssr_.tick(now);
+  quiescent_ = compute_quiescent();
 }
 
 void Core::int_step(Cycle now) {
@@ -121,6 +140,7 @@ void Core::int_step(Cycle now) {
       off.target = xregs_[in.rs1.idx] + static_cast<u32>(in.imm);
     }
     fpu_.enqueue(off);
+    quiescent_ = false;
     if (seq_.capturing()) {
       SARIS_CHECK(op_class(in.op) == OpClass::kFpCompute,
                   "frep bodies must contain FP compute only");
@@ -140,6 +160,7 @@ void Core::int_step(Cycle now) {
       u64 reps = xregs_[in.rs1.idx];
       seq_.start(reps, frep_body_len(in.imm), frep_stagger(in.imm),
                  frep_stagger_base(in.imm));
+      quiescent_ = false;
       ++perf_.int_instrs;
       ++pc_;
       return;
@@ -153,6 +174,7 @@ void Core::int_step(Cycle now) {
         return;
       }
       ssr_.lane(lane).write_cfg(word, xregs_[in.rs1.idx]);
+      quiescent_ = false;  // the write may have launched a stream
       ++perf_.int_instrs;
       ++pc_;
       return;
@@ -195,6 +217,7 @@ void Core::int_step(Cycle now) {
       Addr a = xregs_[in.rs1.idx] + static_cast<u32>(in.imm);
       tcdm_.post(int_port_, a, size, /*is_write=*/false, 0);
       int_load_wait_ = true;
+      quiescent_ = false;
       int_load_rd_ = in.rd;
       int_load_size_ = size;
       ++perf_.int_instrs;
@@ -211,6 +234,7 @@ void Core::int_step(Cycle now) {
       Addr a = xregs_[in.rs1.idx] + static_cast<u32>(in.imm);
       tcdm_.post(int_port_, a, size, /*is_write=*/true, xregs_[in.rs2.idx]);
       int_store_wait_ = true;
+      quiescent_ = false;
       ++perf_.int_instrs;
       ++pc_;
       return;
@@ -276,7 +300,12 @@ void Core::exec_int(const Instr& in, Cycle now) {
       branch_to(true);
       return;
     case Op::kCsrrCycle:
+      // Low half of the 64-bit cycle counter; pair with kCsrrCycleH for
+      // wrap-safe timing on runs past 2^32 cycles (RV32 rdcycle/rdcycleh).
       set_xreg(in.rd.idx, static_cast<u32>(now));
+      break;
+    case Op::kCsrrCycleH:
+      set_xreg(in.rd.idx, static_cast<u32>(now >> 32));
       break;
     case Op::kNop:
       break;

@@ -33,9 +33,34 @@ class Core {
 
   /// Advance one cycle (SSR collect -> FPU -> sequencer -> integer step ->
   /// SSR issue). The cluster arbitrates the TCDM afterwards.
+  ///
+  /// When every subsystem below the integer pipeline is quiescent the tick
+  /// collapses to the integer step plus the FPU idle-counter update, which
+  /// is exactly what the full traversal would have done; counters stay
+  /// bit-identical. Disable via set_event_driven(false) to force the dense
+  /// traversal (regression baseline).
   void tick(Cycle now);
 
   bool halted() const { return perf_.halted; }
+
+  /// True when the FPU, SSR streamer, FREP sequencer, and integer LSU all
+  /// have no queued or in-flight work. A quiescent core's tick has no
+  /// effect beyond the integer step and idle-counter bookkeeping, so the
+  /// cluster may park it (at a barrier) or retire it (after halt) and
+  /// credit the skipped cycles later via credit_idle_cycles().
+  bool quiescent() const { return quiescent_; }
+  /// Is the core stalled at the cluster barrier?
+  bool waiting_at_barrier() const { return barrier_wait_; }
+
+  /// Account for `cycles` ticks the cluster skipped while this core was
+  /// parked or retired: each skipped tick would have bumped the FPU idle
+  /// counter, plus the barrier-stall counter when parked at the barrier.
+  void credit_idle_cycles(Cycle cycles, bool at_barrier) {
+    perf_.fpu_idle_empty += cycles;
+    if (at_barrier) perf_.stall_barrier += cycles;
+  }
+
+  void set_event_driven(bool on) { event_driven_ = on; }
 
   u32 id() const { return id_; }
   CorePerf& perf() { return perf_; }
@@ -55,6 +80,7 @@ class Core {
  private:
   void int_step(Cycle now);
   void exec_int(const Instr& in, Cycle now);
+  bool compute_quiescent() const;
 
   u32 id_;
   Tcdm& tcdm_;
@@ -81,6 +107,12 @@ class Core {
   u32 stall_cycles_ = 0;
   bool barrier_wait_ = false;
   i64 icache_paid_pc_ = -1;
+
+  /// Cached activity flag: cleared by int_step when it hands work to a
+  /// subsystem (FP offload, FREP, scfgwi, load/store), recomputed at the
+  /// end of every full-traversal tick.
+  bool quiescent_ = true;
+  bool event_driven_ = true;
 };
 
 }  // namespace saris

@@ -83,6 +83,13 @@ bool FpSubsystem::operands_ready(const Instr& in, Cycle now) const {
 }
 
 void FpSubsystem::tick(Cycle now) {
+  // Idle short-circuit: nothing queued or in flight. Equivalent to falling
+  // through the retire loop and the empty-queue check below.
+  if (queue_.empty() && pipe_.empty()) {
+    ++perf_.fpu_idle_empty;
+    return;
+  }
+
   // ---- retire finished arithmetic ----
   for (std::size_t i = 0; i < pipe_.size();) {
     if (pipe_[i].done_at <= now) {

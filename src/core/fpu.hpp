@@ -43,6 +43,12 @@ class FpSubsystem {
   /// True when no instruction is queued, in flight, or waiting on memory.
   bool drained() const;
 
+  /// Cheap activity flag: when true, collect() is a no-op and tick() only
+  /// bumps the idle counter — callers may take an equivalent fast path.
+  bool quiescent() const {
+    return queue_.empty() && pipe_.empty() && !lsu_busy_;
+  }
+
  private:
   struct Inflight {
     Instr in;

@@ -245,6 +245,11 @@ void ProgramBuilder::csrr_cycle(XReg rd) {
   in.rd = rd;
 }
 
+void ProgramBuilder::csrr_cycleh(XReg rd) {
+  Instr& in = emit(Op::kCsrrCycleH);
+  in.rd = rd;
+}
+
 void ProgramBuilder::nop() { emit(Op::kNop); }
 
 void ProgramBuilder::raw(const Instr& in) {

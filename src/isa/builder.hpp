@@ -70,6 +70,9 @@ class ProgramBuilder {
   // ---- runtime ----
   void barrier();
   void csrr_cycle(XReg rd);
+  /// High 32 bits of the cycle counter: read cycleh, cycle, cycleh again and
+  /// retry on mismatch for a wrap-safe 64-bit timestamp (RV32 idiom).
+  void csrr_cycleh(XReg rd);
   void nop();
 
   /// Emit a pre-built instruction (used by code generators that lower FP

@@ -79,6 +79,7 @@ std::string disasm(const Instr& in) {
          << ", word=" << (in.imm % 256);
       break;
     case Op::kCsrrCycle:
+    case Op::kCsrrCycleH:
       os << xr(in.rd);
       break;
     default:

@@ -43,6 +43,7 @@ OpClass op_class(Op op) {
     case Op::kSsrDis:
     case Op::kBarrier:
     case Op::kCsrrCycle:
+    case Op::kCsrrCycleH:
     case Op::kHalt:
     case Op::kNop:
       return OpClass::kSys;
@@ -85,6 +86,7 @@ std::string_view op_name(Op op) {
     case Op::kSsrDis: return "ssr_dis";
     case Op::kBarrier: return "barrier";
     case Op::kCsrrCycle: return "csrr.cycle";
+    case Op::kCsrrCycleH: return "csrr.cycleh";
     case Op::kNop: return "nop";
   }
   return "?";

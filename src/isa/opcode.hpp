@@ -53,7 +53,8 @@ enum class Op : u16 {
   kSsrDis,   // csrci ssr: disable stream semantics
   // ---- cluster runtime ----
   kBarrier,  // cluster hardware barrier
-  kCsrrCycle,  // rd = current cycle (mcycle), for in-kernel timing
+  kCsrrCycle,   // rd = current cycle, bits 31:0 (rdcycle)
+  kCsrrCycleH,  // rd = current cycle, bits 63:32 (rdcycleh)
   kNop,
 };
 

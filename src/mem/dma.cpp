@@ -40,6 +40,10 @@ bool Dma::advance_row_cursor() {
 }
 
 void Dma::tick(Cycle /*now*/) {
+  // Idle short-circuit: no job, no queue, nothing in flight — the phases
+  // below would all no-op (and active_cycles_ is only counted with a job).
+  if (!job_active_ && jobs_.empty() && words_outstanding_ == 0) return;
+
   // Phase 1: retire responses from last cycle's arbitration.
   for (u32 i = 0; i < ports_.size(); ++i) {
     if (out_[i].in_flight && tcdm_.response_ready(ports_[i])) {

@@ -7,9 +7,16 @@
 namespace saris {
 
 Tcdm::Tcdm(u32 size_bytes, u32 num_banks)
-    : mem_(size_bytes, 0), num_banks_(num_banks), rr_next_(num_banks, 0) {
+    : mem_(size_bytes, 0),
+      num_banks_(num_banks),
+      rr_next_(num_banks, 0),
+      bank_pending_(num_banks) {
   SARIS_CHECK(size_bytes % (num_banks * kWordBytes) == 0,
               "TCDM size must be a multiple of the bank row");
+  if (num_banks > 1 && (num_banks & (num_banks - 1)) == 0) {
+    bank_mask_ = num_banks - 1;
+  }
+  active_banks_.reserve(num_banks);
 }
 
 u32 Tcdm::make_port(std::string name) {
@@ -38,6 +45,9 @@ void Tcdm::post(u32 port, Addr addr, u32 size, bool is_write, u64 wdata) {
   p.size = size;
   p.is_write = is_write;
   p.wdata = wdata;
+  p.bank = bank_of(addr);
+  if (bank_pending_[p.bank].empty()) active_banks_.push_back(p.bank);
+  bank_pending_[p.bank].push_back(port);
 }
 
 u64 Tcdm::do_access(Port& p) {
@@ -50,8 +60,68 @@ u64 Tcdm::do_access(Port& p) {
   return rdata;
 }
 
+void Tcdm::grant(u32 winner, u32 bank) {
+  Port& w = ports_[winner];
+  w.rdata = do_access(w);
+  w.pending = false;
+  w.resp_ready = true;
+  ++w.accesses;
+  ++total_accesses_;
+  rr_next_[bank] = (winner + 1) % num_ports();
+}
+
 void Tcdm::arbitrate(Cycle /*now*/) {
-  // Gather pending requests per bank, grant one per bank round-robin.
+  if (dense_) {
+    arbitrate_dense();
+    return;
+  }
+  arbitrate_sparse();
+}
+
+void Tcdm::arbitrate_sparse() {
+  // Visit only banks that have pending requests; each port has at most one
+  // request in exactly one bank, so banks are independent and the visit
+  // order does not affect the outcome.
+  const u32 n = num_ports();
+  for (std::size_t bi = 0; bi < active_banks_.size();) {
+    const u32 bank = active_banks_[bi];
+    std::vector<u32>& pend = bank_pending_[bank];
+    // The dense arbiter scans ports circularly from rr_next_[bank]; the
+    // winner is therefore the pending port with the smallest circular
+    // distance from the round-robin pointer.
+    u32 best_dist = n;
+    std::size_t best_pos = 0;
+    for (std::size_t j = 0; j < pend.size(); ++j) {
+      u32 d = (pend[j] + n - rr_next_[bank]) % n;
+      if (d < best_dist) {
+        best_dist = d;
+        best_pos = j;
+      }
+    }
+    const u32 winner = pend[best_pos];
+    for (std::size_t j = 0; j < pend.size(); ++j) {
+      if (j != best_pos) {
+        ++ports_[pend[j]].conflicts;
+        ++total_conflicts_;
+      }
+    }
+    grant(winner, bank);
+    pend[best_pos] = pend.back();
+    pend.pop_back();
+    if (pend.empty()) {
+      // Swap-remove the bank; the bank swapped into slot `bi` still needs a
+      // visit, so do not advance.
+      active_banks_[bi] = active_banks_.back();
+      active_banks_.pop_back();
+    } else {
+      ++bi;
+    }
+  }
+}
+
+void Tcdm::arbitrate_dense() {
+  // The pre-refactor arbiter, verbatim: gather pending requests per bank by
+  // scanning every port, grant one per bank round-robin.
   for (u32 bank = 0; bank < num_banks_; ++bank) {
     u32 n = num_ports();
     if (n == 0) continue;
@@ -73,13 +143,21 @@ void Tcdm::arbitrate(Cycle /*now*/) {
         ++total_conflicts_;
       }
     }
-    Port& w = ports_[winner];
-    w.rdata = do_access(w);
-    w.pending = false;
-    w.resp_ready = true;
-    ++w.accesses;
-    ++total_accesses_;
-    rr_next_[bank] = (winner + 1) % n;
+    grant(winner, bank);
+  }
+  // Keep the pending lists coherent so the two modes can be switched freely
+  // (this path is a test/baseline hook; O(ports) here is fine).
+  rebuild_pending_lists();
+}
+
+void Tcdm::rebuild_pending_lists() {
+  for (u32 bank : active_banks_) bank_pending_[bank].clear();
+  active_banks_.clear();
+  for (u32 port = 0; port < num_ports(); ++port) {
+    const Port& p = ports_[port];
+    if (!p.pending) continue;
+    if (bank_pending_[p.bank].empty()) active_banks_.push_back(p.bank);
+    bank_pending_[p.bank].push_back(port);
   }
 }
 

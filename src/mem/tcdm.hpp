@@ -34,7 +34,19 @@ class Tcdm {
   void post(u32 port, Addr addr, u32 size, bool is_write, u64 wdata);
 
   /// Resolve this cycle's arbitration; at most one grant per bank.
+  ///
+  /// Cost is O(pending requests): banks with no request posted are never
+  /// visited. Grant order, round-robin state, and conflict accounting are
+  /// bit-identical to a dense scan over all banks x ports (the pre-refactor
+  /// arbiter, kept below as a regression baseline).
   void arbitrate(Cycle now);
+
+  /// Test hook: route arbitrate() through the original dense O(banks*ports)
+  /// scan instead of the pending lists. Used by the arbiter-equivalence
+  /// regression test and the sim_throughput baseline; results must be
+  /// identical in both modes.
+  void set_dense_arbitration(bool on) { dense_ = on; }
+  bool dense_arbitration() const { return dense_; }
 
   /// Response interface (valid from the cycle after the grant).
   bool response_ready(u32 port) const;
@@ -50,7 +62,12 @@ class Tcdm {
 
   u32 size_bytes() const { return static_cast<u32>(mem_.size()); }
   u32 num_banks() const { return num_banks_; }
-  u32 bank_of(Addr addr) const { return (addr / kWordBytes) % num_banks_; }
+  u32 bank_of(Addr addr) const {
+    // Banks are a power of two in every real configuration; keep a modulo
+    // fallback so odd test geometries still work.
+    u32 word = addr / kWordBytes;
+    return bank_mask_ != 0 ? (word & bank_mask_) : word % num_banks_;
+  }
 
   // ---- statistics ----
   u64 total_accesses() const { return total_accesses_; }
@@ -71,14 +88,27 @@ class Tcdm {
     u64 rdata = 0;
     u64 accesses = 0;
     u64 conflicts = 0;
+    u32 bank = 0;  ///< bank of the pending request (valid while pending)
   };
 
   u64 do_access(Port& p);
+  void grant(u32 winner, u32 bank);
+  void arbitrate_sparse();
+  void arbitrate_dense();
+  void rebuild_pending_lists();
 
   std::vector<u8> mem_;
   u32 num_banks_;
+  u32 bank_mask_ = 0;  ///< num_banks - 1 when a power of two, else 0
   std::vector<Port> ports_;
   std::vector<u32> rr_next_;  ///< per-bank round-robin pointer
+
+  // Pending-work tracking: per-bank lists of requesting ports, populated at
+  // post() time so arbitration only ever touches banks with work.
+  std::vector<std::vector<u32>> bank_pending_;
+  std::vector<u32> active_banks_;  ///< banks with >= 1 pending request
+  bool dense_ = false;
+
   u64 total_accesses_ = 0;
   u64 total_conflicts_ = 0;
 };

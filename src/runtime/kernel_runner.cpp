@@ -1,5 +1,6 @@
 #include "runtime/kernel_runner.hpp"
 
+#include <chrono>
 #include <utility>
 
 #include "codegen/base_codegen.hpp"
@@ -82,7 +83,7 @@ RunMetrics run_kernel_io(const StencilCode& sc, const RunConfig& cfg,
   reference_step(sc, inputs, coeffs, golden);
 
   // ---- codegen + layout ----
-  Cluster cluster;
+  Cluster cluster(cfg.cluster);
   u32 n = cluster.num_cores();
 
   std::unique_ptr<SarisCodegen> scg;
@@ -140,6 +141,7 @@ RunMetrics run_kernel_io(const StencilCode& sc, const RunConfig& cfg,
   }
   std::vector<u32> timeline;
   std::vector<u64> last_useful(n, 0);
+  auto wall0 = std::chrono::steady_clock::now();
   while (!cluster.all_halted()) {
     cluster.step();
     if (cfg.record_timeline) {
@@ -154,7 +156,14 @@ RunMetrics run_kernel_io(const StencilCode& sc, const RunConfig& cfg,
     SARIS_CHECK(cluster.now() - t0 < 100'000'000, "kernel did not halt");
   }
   Cycle window = cluster.now() - t0;
+  // Stop the wall clock with the compute window: `window` is the matching
+  // numerator for cycles-per-second, and the DMA drain tail below is not
+  // part of the measured loop.
+  double step_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
   cluster.run_until_dma_idle();
+  cluster.sync_idle_counters();
 
   // ---- read back the result, verify against the golden reference ----
   RunMetrics m;
@@ -192,8 +201,13 @@ RunMetrics run_kernel_io(const StencilCode& sc, const RunConfig& cfg,
   }
   m.tcdm_accesses = tcdm.total_accesses();
   m.tcdm_conflicts = tcdm.total_conflicts();
+  for (u32 p = 0; p < tcdm.num_ports(); ++p) {
+    m.tcdm_port_accesses.push_back(tcdm.port_accesses(p));
+    m.tcdm_port_conflicts.push_back(tcdm.port_conflicts(p));
+  }
   m.dma_util = cluster.dma().bandwidth_utilization();
   m.dma_bytes = cluster.dma().bytes_moved();
+  m.step_wall_seconds = step_wall;
 
   // Paper Table 1 invariant: the kernel performs exactly flops-per-point
   // FLOPs on every interior point.

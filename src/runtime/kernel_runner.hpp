@@ -19,6 +19,7 @@ const char* variant_name(KernelVariant v);
 struct RunConfig {
   KernelVariant variant = KernelVariant::kSaris;
   CodegenOptions cg{};
+  ClusterConfig cluster{};  ///< e.g. event_driven=false for the dense baseline
   bool overlap_dma = true;  ///< model steady-state double-buffered DMA
   bool verify = true;
   bool record_timeline = false;  ///< fill RunMetrics::fpu_timeline

@@ -25,6 +25,8 @@ struct RunMetrics {
   // Memory system.
   u64 tcdm_accesses = 0;
   u64 tcdm_conflicts = 0;
+  std::vector<u64> tcdm_port_accesses;  ///< per requester port, port order
+  std::vector<u64> tcdm_port_conflicts;
   u64 ssr_elems = 0;
   u64 ssr_idx_words = 0;
   u64 icache_misses = 0;
@@ -34,6 +36,11 @@ struct RunMetrics {
 
   // Verification.
   double max_rel_err = 0.0;
+
+  // Host-side wall-clock time spent inside the compute-window cycle loop
+  // (codegen, staging, verification excluded) — the simulator-throughput
+  // numerator is `cycles / step_wall_seconds`.
+  double step_wall_seconds = 0.0;
 
   /// Optional per-cycle count of cores issuing useful FPU ops (filled when
   /// RunConfig::record_timeline is set; see runtime/trace.hpp to render).

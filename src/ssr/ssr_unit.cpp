@@ -10,7 +10,8 @@ SsrUnit::SsrUnit(Tcdm& tcdm, u32 core_id)
       idx_inflight_lane_(kNumSsrLanes) {
   for (u32 i = 0; i < kNumSsrLanes; ++i) {
     // Lanes 0 and 1 are indirection-capable, lane 2 affine-only (SSSR).
-    lanes_[i] = std::make_unique<SsrLane>(tcdm, i, /*indirect_capable=*/i < 2);
+    lanes_[i] = std::make_unique<SsrLane>(
+        tcdm, i, /*indirect_capable=*/i < kNumIndirectSsrLanes);
   }
 }
 
@@ -38,6 +39,14 @@ bool SsrUnit::any_busy() const {
   return false;
 }
 
+bool SsrUnit::quiescent() const {
+  if (idx_inflight_lane_ < kNumSsrLanes) return false;
+  for (const auto& l : lanes_) {
+    if (!l->quiescent()) return false;
+  }
+  return true;
+}
+
 void SsrUnit::collect(Cycle now) {
   for (auto& l : lanes_) l->collect(now);
   if (idx_inflight_lane_ < kNumSsrLanes && tcdm_.response_ready(idx_port_)) {
@@ -48,10 +57,11 @@ void SsrUnit::collect(Cycle now) {
 }
 
 void SsrUnit::tick(Cycle now) {
-  // One shared index fetch per cycle, round-robin between indirect lanes.
+  // One shared index fetch per cycle, round-robin between the indirect-
+  // capable lanes only — the affine lane can never want an index word.
   if (idx_inflight_lane_ == kNumSsrLanes && tcdm_.port_idle(idx_port_)) {
-    for (u32 k = 0; k < kNumSsrLanes; ++k) {
-      u32 cand = (idx_rr_ + k) % kNumSsrLanes;
+    for (u32 k = 0; k < kNumIndirectSsrLanes; ++k) {
+      u32 cand = (idx_rr_ + k) % kNumIndirectSsrLanes;
       Addr addr = 0;
       if (lanes_[cand]->wants_index_word(&addr)) {
         // Index fetches are 64-bit word reads; align down (layouts align
@@ -60,7 +70,7 @@ void SsrUnit::tick(Cycle now) {
                    /*is_write=*/false, 0);
         lanes_[cand]->index_word_sent();
         idx_inflight_lane_ = cand;
-        idx_rr_ = (cand + 1) % kNumSsrLanes;
+        idx_rr_ = (cand + 1) % kNumIndirectSsrLanes;
         break;
       }
     }

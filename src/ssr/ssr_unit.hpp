@@ -16,6 +16,11 @@
 
 namespace saris {
 
+/// Lanes 0..kNumIndirectSsrLanes-1 are indirection-capable (SSSR); the
+/// remaining lane(s) are affine-only, so the shared index port never needs
+/// to consider them.
+inline constexpr u32 kNumIndirectSsrLanes = 2;
+
 class SsrUnit {
  public:
   SsrUnit(Tcdm& tcdm, u32 core_id);
@@ -27,6 +32,11 @@ class SsrUnit {
   void set_enabled(bool on);
 
   bool any_busy() const;
+
+  /// Cheap activity flag: when true, collect() and tick() are no-ops until
+  /// the integer core launches a stream (or the FPU pushes into a write
+  /// lane) — callers may skip them.
+  bool quiescent() const;
 
   /// Phase 1 each cycle: absorb data + index responses.
   void collect(Cycle now);

@@ -197,6 +197,28 @@ TEST(Core, CsrrCycleIsMonotone) {
   EXPECT_GT(cl.core(0).xreg(6), cl.core(0).xreg(5));
 }
 
+TEST(Core, CsrrCycleHighReadsUpperWord) {
+  // Past 2^32 cycles the low word wraps; cycle/cycleh together give the
+  // full 64-bit count. Drive a bare core so `now` can start beyond 2^32.
+  Tcdm tcdm;
+  Barrier bar(1);
+  Core core(0, tcdm, bar);
+  ProgramBuilder b;
+  b.csrr_cycle(x(5));
+  b.csrr_cycleh(x(6));
+  b.halt();
+  core.load_program(b.build());
+  Cycle now = (5ull << 32) + 7;
+  for (u32 guard = 0; !core.halted() && guard < 1000; ++guard) {
+    core.tick(now);
+    tcdm.arbitrate(now);
+    ++now;
+  }
+  ASSERT_TRUE(core.halted());
+  EXPECT_EQ(core.xreg(6), 5u);
+  EXPECT_GE(core.xreg(5), 7u);
+}
+
 TEST(Core, SsrMappedReadFeedsFpu) {
   Cluster cl;
   for (u32 i = 0; i < 8; ++i) cl.tcdm().host_write_f64(8 * i, i + 1.0);

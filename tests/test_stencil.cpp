@@ -64,7 +64,9 @@ TEST_P(Table1, TapsStayWithinHalo) {
 TEST_P(Table1, CoefficientIndicesInRange) {
   const StencilCode& sc = code_by_name(GetParam().name);
   for (const Tap& t : sc.taps) {
-    if (t.coeff != kNoCoeff) EXPECT_LT(t.coeff, sc.n_coeffs);
+    if (t.coeff != kNoCoeff) {
+      EXPECT_LT(t.coeff, sc.n_coeffs);
+    }
   }
   EXPECT_EQ(sc.default_coeffs().size(), sc.n_coeffs);
 }
