@@ -5,107 +5,128 @@
 //   - reassociation (accumulator chains) sweep,
 //   - full coefficient streaming vs residency (register-bound codes),
 //   - overlapped double-buffer DMA on/off (TCDM interference).
+// All configurations are collected up front and fanned out through the
+// sweep engine; reporting happens afterwards, in declaration order.
 #include <cstdio>
+#include <cstring>
 
 #include "report/csv.hpp"
 #include "report/table.hpp"
-#include "runtime/kernel_runner.hpp"
+#include "runtime/sweep.hpp"
 #include "stencil/codes.hpp"
 
 namespace {
 
-saris::RunMetrics run_cfg(const saris::StencilCode& sc,
-                          const saris::RunConfig& cfg) {
-  return saris::run_kernel(sc, cfg);
-}
+struct Experiment {
+  const char* key;    ///< CSV experiment column
+  const char* title;  ///< section header printed before its rows
+};
 
 }  // namespace
 
 int main() {
   using namespace saris;
-  CsvWriter csv("ablation_opts.csv",
-                {"experiment", "code", "config", "cycles", "fpu_util"});
-  auto report = [&](const char* exp, const StencilCode& sc,
-                    const std::string& label, const RunMetrics& m) {
-    std::printf("  %-12s %-32s cycles=%8llu  util=%5.1f%%\n", sc.name.c_str(),
-                label.c_str(), static_cast<unsigned long long>(m.cycles),
-                m.fpu_util() * 100);
-    csv.add_row({exp, sc.name, label, std::to_string(m.cycles),
-                 TextTable::fmt(m.fpu_util(), 4)});
+  const Experiment experiments[] = {
+      {"frep", "FREP hardware loop (saris)"},
+      {"unroll", "unroll factor (saris)"},
+      {"chains", "reassociation chains (saris)"},
+      {"coeffs", "full coefficient streaming (saris, register-bound codes)"},
+      {"dma", "overlapped double-buffer DMA"},
+      {"base_unroll", "baseline unroll (register pressure)"},
   };
 
-  std::printf("== Ablation: FREP hardware loop (saris) ==\n");
+  std::vector<SweepJob> jobs;
+  std::vector<const char*> job_exp;  ///< experiment key per job
+  auto add = [&](const char* exp, const StencilCode& sc,
+                 const std::string& label, const RunConfig& cfg) {
+    SweepJob j;
+    j.code = &sc;
+    j.cfg = cfg;
+    j.label = label;
+    jobs.push_back(std::move(j));
+    job_exp.push_back(exp);
+  };
+
   for (const char* name : {"jacobi_2d", "box2d1r", "star2d3r"}) {
     const StencilCode& sc = code_by_name(name);
     for (bool frep : {true, false}) {
       RunConfig cfg;
       cfg.variant = KernelVariant::kSaris;
       cfg.cg.use_frep = frep;
-      report("frep", sc, frep ? "frep=on (default)" : "frep=off",
-             run_cfg(sc, cfg));
+      add("frep", sc, frep ? "frep=on (default)" : "frep=off", cfg);
     }
   }
 
-  std::printf("== Ablation: unroll factor (saris) ==\n");
   for (const char* name : {"jacobi_2d", "j2d5pt"}) {
     const StencilCode& sc = code_by_name(name);
     for (u32 u : {1u, 2u, 3u}) {
       RunConfig cfg;
       cfg.variant = KernelVariant::kSaris;
       cfg.cg.unroll = u;
-      report("unroll", sc, "unroll=" + std::to_string(u), run_cfg(sc, cfg));
+      add("unroll", sc, "unroll=" + std::to_string(u), cfg);
     }
   }
 
-  std::printf("== Ablation: reassociation chains (saris) ==\n");
   for (const char* name : {"star2d3r", "box2d1r"}) {
     const StencilCode& sc = code_by_name(name);
     for (u32 k : {1u, 2u, 3u}) {
       RunConfig cfg;
       cfg.variant = KernelVariant::kSaris;
       cfg.cg.chains = k;
-      report("chains", sc, "chains=" + std::to_string(k), run_cfg(sc, cfg));
+      add("chains", sc, "chains=" + std::to_string(k), cfg);
     }
   }
 
-  std::printf("== Ablation: full coefficient streaming (saris, "
-              "register-bound codes) ==\n");
   for (const char* name : {"box3d1r", "j3d27pt"}) {
     const StencilCode& sc = code_by_name(name);
     {
       RunConfig cfg;
       cfg.variant = KernelVariant::kSaris;
-      report("coeffs", sc, "auto (resident + SR2 spill)", run_cfg(sc, cfg));
+      add("coeffs", sc, "auto (resident + SR2 spill)", cfg);
     }
     {
       RunConfig cfg;
       cfg.variant = KernelVariant::kSaris;
       cfg.cg.stream_coeffs = 1;
-      report("coeffs", sc, "stream all via SR1", run_cfg(sc, cfg));
+      add("coeffs", sc, "stream all via SR1", cfg);
     }
   }
 
-  std::printf("== Ablation: overlapped double-buffer DMA ==\n");
   for (const char* name : {"jacobi_2d", "star3d2r"}) {
     const StencilCode& sc = code_by_name(name);
     for (bool overlap : {true, false}) {
       RunConfig cfg;
       cfg.variant = KernelVariant::kSaris;
       cfg.overlap_dma = overlap;
-      report("dma", sc, overlap ? "dma overlap on" : "dma overlap off",
-             run_cfg(sc, cfg));
+      add("dma", sc, overlap ? "dma overlap on" : "dma overlap off", cfg);
     }
   }
 
-  std::printf("== Ablation: baseline unroll (register pressure) ==\n");
   for (const char* name : {"box3d1r", "j3d27pt"}) {
     const StencilCode& sc = code_by_name(name);
     for (u32 u : {1u, 2u, 4u}) {
       RunConfig cfg;
       cfg.variant = KernelVariant::kBase;
       cfg.cg.unroll = u;
-      report("base_unroll", sc, "base unroll=" + std::to_string(u),
-             run_cfg(sc, cfg));
+      add("base_unroll", sc, "base unroll=" + std::to_string(u), cfg);
+    }
+  }
+
+  std::vector<RunMetrics> results = run_sweep(jobs);
+
+  CsvWriter csv("ablation_opts.csv",
+                {"experiment", "code", "config", "cycles", "fpu_util"});
+  for (const Experiment& exp : experiments) {
+    std::printf("== Ablation: %s ==\n", exp.title);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (std::strcmp(job_exp[i], exp.key) != 0) continue;
+      const RunMetrics& m = results[i];
+      std::printf("  %-12s %-32s cycles=%8llu  util=%5.1f%%\n",
+                  jobs[i].code->name.c_str(), jobs[i].label.c_str(),
+                  static_cast<unsigned long long>(m.cycles),
+                  m.fpu_util() * 100);
+      csv.add_row({exp.key, jobs[i].code->name, jobs[i].label,
+                   std::to_string(m.cycles), TextTable::fmt(m.fpu_util(), 4)});
     }
   }
   return 0;

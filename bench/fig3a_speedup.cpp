@@ -7,7 +7,7 @@
 #include "common/stats.hpp"
 #include "report/csv.hpp"
 #include "report/table.hpp"
-#include "runtime/kernel_runner.hpp"
+#include "runtime/sweep.hpp"
 #include "stencil/codes.hpp"
 
 int main() {
@@ -17,15 +17,14 @@ int main() {
   CsvWriter csv("fig3a_speedup.csv", {"code", "base_cycles", "saris_cycles",
                                       "speedup"});
   std::vector<double> speedups;
-  for (const StencilCode& sc : all_codes()) {
-    auto [base, saris] = run_both(sc);
-    double s = static_cast<double>(base.cycles) /
-               static_cast<double>(saris.cycles);
+  for (const MatrixRun& r : run_matrix()) {
+    double s = static_cast<double>(r.base.cycles) /
+               static_cast<double>(r.saris.cycles);
     speedups.push_back(s);
-    t.add_row({sc.name, std::to_string(base.cycles),
-               std::to_string(saris.cycles), TextTable::fmt(s, 2)});
-    csv.add_row({sc.name, std::to_string(base.cycles),
-                 std::to_string(saris.cycles), TextTable::fmt(s, 3)});
+    t.add_row({r.code->name, std::to_string(r.base.cycles),
+               std::to_string(r.saris.cycles), TextTable::fmt(s, 2)});
+    csv.add_row({r.code->name, std::to_string(r.base.cycles),
+                 std::to_string(r.saris.cycles), TextTable::fmt(s, 3)});
   }
   std::printf("%s", t.str().c_str());
   std::printf("geomean speedup: %.2fx   (paper: 2.72x, range 2.36x-3.87x)\n",

@@ -6,7 +6,7 @@
 #include "common/stats.hpp"
 #include "report/csv.hpp"
 #include "report/table.hpp"
-#include "runtime/kernel_runner.hpp"
+#include "runtime/sweep.hpp"
 #include "stencil/codes.hpp"
 
 int main() {
@@ -16,15 +16,15 @@ int main() {
   CsvWriter csv("fig3b_util_ipc.csv",
                 {"code", "base_util", "base_ipc", "saris_util", "saris_ipc"});
   std::vector<double> bu, bi, su, si;
-  for (const StencilCode& sc : all_codes()) {
-    auto [base, saris] = run_both(sc);
-    bu.push_back(base.fpu_util());
-    bi.push_back(base.ipc());
-    su.push_back(saris.fpu_util());
-    si.push_back(saris.ipc());
-    t.add_row({sc.name, TextTable::pct(bu.back()), TextTable::fmt(bi.back()),
-               TextTable::pct(su.back()), TextTable::fmt(si.back())});
-    csv.add_row({sc.name, TextTable::fmt(bu.back(), 4),
+  for (const MatrixRun& r : run_matrix()) {
+    bu.push_back(r.base.fpu_util());
+    bi.push_back(r.base.ipc());
+    su.push_back(r.saris.fpu_util());
+    si.push_back(r.saris.ipc());
+    t.add_row({r.code->name, TextTable::pct(bu.back()),
+               TextTable::fmt(bi.back()), TextTable::pct(su.back()),
+               TextTable::fmt(si.back())});
+    csv.add_row({r.code->name, TextTable::fmt(bu.back(), 4),
                  TextTable::fmt(bi.back(), 4), TextTable::fmt(su.back(), 4),
                  TextTable::fmt(si.back(), 4)});
   }

@@ -12,7 +12,7 @@
 #include "energy/energy_model.hpp"
 #include "report/csv.hpp"
 #include "report/table.hpp"
-#include "runtime/kernel_runner.hpp"
+#include "runtime/sweep.hpp"
 #include "stencil/codes.hpp"
 
 int main() {
@@ -22,18 +22,17 @@ int main() {
   CsvWriter csv("fig4_power.csv",
                 {"code", "base_mw", "saris_mw", "gain"});
   std::vector<double> pb, ps, gains;
-  for (const StencilCode& sc : all_codes()) {
-    auto [base, saris_m] = run_both(sc);
-    u64 pts = sc.interior_points();
-    PowerReport rb = estimate_power(base, pts);
-    PowerReport rs = estimate_power(saris_m, pts);
+  for (const MatrixRun& r : run_matrix()) {
+    u64 pts = r.code->interior_points();
+    PowerReport rb = estimate_power(r.base, pts);
+    PowerReport rs = estimate_power(r.saris, pts);
     double gain = efficiency_gain(rb, rs);
     pb.push_back(rb.total_mw);
     ps.push_back(rs.total_mw);
     gains.push_back(gain);
-    t.add_row({sc.name, TextTable::fmt(rb.total_mw, 0),
+    t.add_row({r.code->name, TextTable::fmt(rb.total_mw, 0),
                TextTable::fmt(rs.total_mw, 0), TextTable::fmt(gain, 2)});
-    csv.add_row({sc.name, TextTable::fmt(rb.total_mw, 1),
+    csv.add_row({r.code->name, TextTable::fmt(rb.total_mw, 1),
                  TextTable::fmt(rs.total_mw, 1), TextTable::fmt(gain, 3)});
   }
   std::printf("%s", t.str().c_str());

@@ -9,7 +9,7 @@
 #include "common/stats.hpp"
 #include "report/csv.hpp"
 #include "report/table.hpp"
-#include "runtime/kernel_runner.hpp"
+#include "runtime/sweep.hpp"
 #include "scaleout/manticore.hpp"
 #include "stencil/codes.hpp"
 
@@ -21,13 +21,13 @@ int main() {
                "bound", "GFLOP/s", "dma util"});
   CsvWriter csv("fig5_scaleout.csv",
                 {"code", "base_util", "saris_util", "speedup", "cmtr",
-                 "memory_bound", "gflops"});
+                 "memory_bound", "gflops", "dma_util"});
   std::vector<double> bu, su, sp, sp_mem;
   double peak_frac = 0.0, peak_gflops = 0.0;
   u32 mem_bound = 0;
-  for (const StencilCode& sc : all_codes()) {
-    auto [base, saris_m] = run_both(sc);
-    ScaleoutResult r = estimate_scaleout(sc, base, saris_m, cfg);
+  for (const MatrixRun& run : run_matrix()) {
+    const StencilCode& sc = *run.code;
+    ScaleoutResult r = estimate_scaleout(sc, run.base, run.saris, cfg);
     bu.push_back(r.base.fpu_util);
     su.push_back(r.saris.fpu_util);
     sp.push_back(r.speedup);
@@ -43,13 +43,14 @@ int main() {
                r.saris.memory_bound ? TextTable::pct(r.saris.cmtr) : "-",
                r.saris.memory_bound ? "mem" : "comp",
                TextTable::fmt(r.saris.gflops, 0),
-               TextTable::pct(saris_m.dma_util)});
+               TextTable::pct(run.saris.dma_util)});
     csv.add_row({sc.name, TextTable::fmt(r.base.fpu_util, 4),
                  TextTable::fmt(r.saris.fpu_util, 4),
                  TextTable::fmt(r.speedup, 3),
                  TextTable::fmt(r.saris.cmtr, 3),
                  r.saris.memory_bound ? "1" : "0",
-                 TextTable::fmt(r.saris.gflops, 1)});
+                 TextTable::fmt(r.saris.gflops, 1),
+                 TextTable::fmt(run.saris.dma_util, 4)});
   }
   std::printf("%s", t.str().c_str());
   std::printf(

@@ -6,7 +6,7 @@
 
 #include "report/csv.hpp"
 #include "report/table.hpp"
-#include "runtime/kernel_runner.hpp"
+#include "runtime/sweep.hpp"
 #include "scaleout/manticore.hpp"
 #include "scaleout/roofline.hpp"
 #include "stencil/codes.hpp"
@@ -22,20 +22,21 @@ int main() {
                "% of roof", "regime"});
   CsvWriter csv("roofline_analysis.csv",
                 {"code", "op_intensity", "roof_gflops", "achieved_gflops",
-                 "pct_of_roof"});
-  for (const StencilCode& sc : all_codes()) {
+                 "pct_of_roof", "regime"});
+  for (const MatrixRun& run : run_matrix()) {
+    const StencilCode& sc = *run.code;
     RooflinePoint r = roofline(sc, cfg);
-    auto [base, saris_m] = run_both(sc);
-    ScaleoutResult s = estimate_scaleout(sc, base, saris_m, cfg);
+    ScaleoutResult s = estimate_scaleout(sc, run.base, run.saris, cfg);
     double pct = s.saris.gflops / r.roof_gflops;
+    const char* regime = r.below_ridge ? "bandwidth" : "compute";
     t.add_row({sc.name, TextTable::fmt(r.op_intensity, 2),
                TextTable::fmt(r.roof_gflops, 0),
                TextTable::fmt(s.saris.gflops, 0), TextTable::pct(pct),
-               r.below_ridge ? "bandwidth" : "compute"});
+               regime});
     csv.add_row({sc.name, TextTable::fmt(r.op_intensity, 4),
                  TextTable::fmt(r.roof_gflops, 1),
                  TextTable::fmt(s.saris.gflops, 1),
-                 TextTable::fmt(pct, 4)});
+                 TextTable::fmt(pct, 4), regime});
   }
   std::printf("%s", t.str().c_str());
   std::printf("saris achieves a high fraction of each code's *roof*: the "

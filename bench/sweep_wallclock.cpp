@@ -1,0 +1,125 @@
+// Sweep-engine wall-clock harness and CI smoke: runs the full fig3a matrix
+// (all Table 1 codes, base and saris) once sequentially and once through the
+// thread pool, checks the parallel metrics are bit-identical to the
+// sequential ones, and reports end-to-end wall-clock speedup. The
+// comparison is the determinism contract of runtime/sweep.hpp enforced on
+// real hardware, including the lazy pooled MainMemory under thread churn.
+//
+// Emits BENCH_sweep_wallclock.json so the sweep-parallelism trajectory is
+// tracked across PRs. Usage:
+//   sweep_wallclock [--threads N] [--min-speedup X] [--json PATH]
+// Exits nonzero on a determinism violation, or when --min-speedup is given
+// and the parallel/sequential wall-clock ratio falls below X.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "mem/main_memory.hpp"
+#include "report/table.hpp"
+#include "runtime/sweep.hpp"
+#include "stencil/codes.hpp"
+
+namespace {
+
+using namespace saris;
+
+double wall_seconds(std::vector<MatrixRun>& out, u32 threads) {
+  // Both timed runs start with a cold chunk pool: without this, the first
+  // run warms the pool for the second and the reported speedup over-credits
+  // the thread pool with the pool-warming effect.
+  MainMemory::trim_pool();
+  auto t0 = std::chrono::steady_clock::now();
+  out = run_matrix(/*seed=*/1, threads);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  u32 threads = 0;
+  double min_speedup = 0.0;
+  const char* json_path = "BENCH_sweep_wallclock.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<u32>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--min-speedup") == 0 && i + 1 < argc) {
+      min_speedup = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--threads N] [--min-speedup X] [--json PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  threads = sweep_thread_count(threads, all_codes().size() * 2);
+
+  std::printf("== Sweep wall-clock: sequential vs %u worker threads ==\n",
+              threads);
+  std::vector<MatrixRun> seq, par;
+  double seq_seconds = wall_seconds(seq, /*threads=*/1);
+  double par_seconds = wall_seconds(par, threads);
+
+  // Determinism contract: the parallel sweep must be bit-identical to the
+  // sequential one, per (code, variant).
+  for (std::size_t c = 0; c < seq.size(); ++c) {
+    std::string why;
+    if (!metrics_bit_identical(seq[c].base, par[c].base, &why) ||
+        !metrics_bit_identical(seq[c].saris, par[c].saris, &why)) {
+      std::fprintf(stderr,
+                   "FAIL: parallel sweep diverged from sequential on %s (%s)\n",
+                   seq[c].code->name.c_str(), why.c_str());
+      return 1;
+    }
+  }
+
+  TextTable t({"code", "base cycles", "saris cycles"});
+  for (const MatrixRun& r : par) {
+    t.add_row({r.code->name, std::to_string(r.base.cycles),
+               std::to_string(r.saris.cycles)});
+  }
+  std::printf("%s", t.str().c_str());
+
+  double speedup = par_seconds > 0.0 ? seq_seconds / par_seconds : 0.0;
+  std::printf(
+      "matrix wall-clock: %.3f s sequential, %.3f s with %u threads -> "
+      "%.2fx (parallel results bit-identical to sequential)\n",
+      seq_seconds, par_seconds, threads, speedup);
+
+  std::FILE* f = std::fopen(json_path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", json_path);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"sweep_wallclock\",\n"
+               "  \"threads\": %u,\n"
+               "  \"sequential_seconds\": %.6e,\n"
+               "  \"parallel_seconds\": %.6e,\n"
+               "  \"speedup\": %.3f,\n"
+               "  \"bit_identical\": true,\n  \"runs\": [\n",
+               threads, seq_seconds, par_seconds, speedup);
+  for (std::size_t c = 0; c < par.size(); ++c) {
+    std::fprintf(f,
+                 "    {\"code\": \"%s\", \"base_cycles\": %llu, "
+                 "\"saris_cycles\": %llu}%s\n",
+                 par[c].code->name.c_str(),
+                 static_cast<unsigned long long>(par[c].base.cycles),
+                 static_cast<unsigned long long>(par[c].saris.cycles),
+                 c + 1 < par.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path);
+
+  if (min_speedup > 0.0 && speedup < min_speedup) {
+    std::fprintf(stderr, "FAIL: sweep speedup %.2fx below required %.2fx\n",
+                 speedup, min_speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -9,7 +9,7 @@
 
 #include "report/csv.hpp"
 #include "report/table.hpp"
-#include "runtime/kernel_runner.hpp"
+#include "runtime/sweep.hpp"
 #include "scaleout/manticore.hpp"
 #include "stencil/codes.hpp"
 
@@ -20,12 +20,11 @@ int main() {
   double best = 0.0;
   std::string best_code;
   ManticoreConfig cfg;
-  for (const StencilCode& sc : all_codes()) {
-    auto [base, saris_m] = run_both(sc);
-    ScaleoutResult r = estimate_scaleout(sc, base, saris_m, cfg);
+  for (const MatrixRun& run : run_matrix()) {
+    ScaleoutResult r = estimate_scaleout(*run.code, run.base, run.saris, cfg);
     if (r.saris.frac_peak > best) {
       best = r.saris.frac_peak;
-      best_code = sc.name;
+      best_code = run.code->name;
     }
   }
 

@@ -15,6 +15,7 @@ Cluster::Cluster(const ClusterConfig& cfg)
   }
   dma_ = std::make_unique<Dma>(tcdm_, mem_);
   tcdm_.set_dense_arbitration(!cfg.event_driven);
+  dma_->set_dense_scan(!cfg.event_driven);
   state_.assign(cfg.num_cores, CoreState::kActive);
   last_ticked_.assign(cfg.num_cores, 0);
   halted_seen_.assign(cfg.num_cores, false);

@@ -26,10 +26,11 @@ struct ClusterConfig {
   u32 tcdm_bytes = kTcdmSizeBytes;
   u32 tcdm_banks = kTcdmBanks;
   u64 main_mem_bytes = 512ull * 1024 * 1024;
-  /// Event-aware hot path: O(pending) TCDM arbitration plus idle skipping
-  /// of quiescent cores. false = the pre-refactor dense scan everywhere
-  /// (slow; kept for the arbiter-equivalence regression test and as the
-  /// sim_throughput baseline). Results are identical in both modes.
+  /// Event-aware hot path: O(pending) TCDM arbitration, idle skipping of
+  /// quiescent cores, and active-port DMA scans. false = the pre-refactor
+  /// dense scan everywhere (slow; kept for the equivalence regression tests
+  /// and as the sim_throughput baseline). Results are identical in both
+  /// modes.
   bool event_driven = true;
 };
 

@@ -1,12 +1,41 @@
 #include "mem/dma.hpp"
 
+#include <algorithm>
+#include <bit>
+
 #include "common/log.hpp"
 
 namespace saris {
 
+namespace {
+
+/// [lo, hi) byte extent of a strided 3-D transfer footprint relative to its
+/// base address. 128-bit intermediates: strides and counts are caller-
+/// controlled and the whole point is to reject jobs whose arithmetic would
+/// wrap in 64 bits.
+struct Extent {
+  __int128 lo;
+  __int128 hi;
+};
+
+Extent job_extent(__int128 base, i64 row_stride, i64 plane_stride, u32 rows,
+                  u32 planes, u32 row_bytes) {
+  __int128 row_span = static_cast<__int128>(row_stride) * (rows - 1);
+  __int128 plane_span = static_cast<__int128>(plane_stride) * (planes - 1);
+  Extent e;
+  e.lo = base + std::min<__int128>(row_span, 0) +
+         std::min<__int128>(plane_span, 0);
+  e.hi = base + std::max<__int128>(row_span, 0) +
+         std::max<__int128>(plane_span, 0) + row_bytes;
+  return e;
+}
+
+}  // namespace
+
 Dma::Dma(Tcdm& tcdm, MainMemory& mem)
     : tcdm_(tcdm), mem_(mem), jobs_(kDmaJobQueueDepth) {
   u32 lanes = kDmaWidthBytes / kWordBytes;
+  SARIS_CHECK(lanes < 32, "DMA datapath too wide for the u32 port bitmask");
   for (u32 i = 0; i < lanes; ++i) {
     ports_.push_back(tcdm_.make_port("dma" + std::to_string(i)));
     out_.push_back(Outstanding{});
@@ -20,6 +49,30 @@ void Dma::push(const DmaJob& job) {
                   job.mem_addr % kWordBytes == 0,
               "DMA addresses must be 8-byte aligned");
   SARIS_CHECK(job.rows >= 1 && job.planes >= 1, "DMA shape degenerate");
+
+#define SARIS_DMA_JOB_COORDS(job)                                          \
+  "tcdm_addr=" << (job).tcdm_addr << " mem_addr=" << (job).mem_addr       \
+               << " row_bytes=" << (job).row_bytes << " rows="            \
+               << (job).rows << "x" << (job).planes << " tcdm_strides=("  \
+               << (job).tcdm_row_stride << "," << (job).tcdm_plane_stride \
+               << ") mem_strides=(" << (job).mem_row_stride << ","        \
+               << (job).mem_plane_stride << ")"
+
+  Extent t = job_extent(job.tcdm_addr, job.tcdm_row_stride,
+                        job.tcdm_plane_stride, job.rows, job.planes,
+                        job.row_bytes);
+  SARIS_CHECK(t.lo >= 0 && t.hi <= static_cast<__int128>(tcdm_.size_bytes()),
+              "DMA job TCDM extent out of range: "
+                  << SARIS_DMA_JOB_COORDS(job)
+                  << " tcdm_size=" << tcdm_.size_bytes());
+  Extent m = job_extent(job.mem_addr, job.mem_row_stride, job.mem_plane_stride,
+                        job.rows, job.planes, job.row_bytes);
+  SARIS_CHECK(m.lo >= 0 && m.hi <= static_cast<__int128>(mem_.size_bytes()),
+              "DMA job main-memory extent out of range: "
+                  << SARIS_DMA_JOB_COORDS(job)
+                  << " mem_size=" << mem_.size_bytes());
+#undef SARIS_DMA_JOB_COORDS
+
   jobs_.push(job);
 }
 
@@ -39,23 +92,92 @@ bool Dma::advance_row_cursor() {
   return true;
 }
 
+void Dma::retire_responses() {
+  // Only ports with a word in flight can have a response; visit exactly
+  // those (ascending port order, same as the dense scan).
+  if (dense_) {
+    for (u32 i = 0; i < ports_.size(); ++i) {
+      if (out_[i].in_flight && tcdm_.response_ready(ports_[i])) {
+        u64 data = tcdm_.take_response(ports_[i]);
+        if (!out_[i].to_tcdm) {
+          mem_.write(out_[i].mem_addr, &data, kWordBytes);
+        }
+        out_[i].in_flight = false;
+        busy_mask_ &= ~(1u << i);
+        SARIS_CHECK(words_outstanding_ > 0, "DMA outstanding underflow");
+        --words_outstanding_;
+      }
+    }
+    return;
+  }
+  for (u32 m = busy_mask_; m != 0; m &= m - 1) {
+    u32 i = static_cast<u32>(std::countr_zero(m));
+    if (!tcdm_.response_ready(ports_[i])) continue;
+    u64 data = tcdm_.take_response(ports_[i]);
+    if (!out_[i].to_tcdm) {
+      mem_.write(out_[i].mem_addr, &data, kWordBytes);
+    }
+    out_[i].in_flight = false;
+    busy_mask_ &= ~(1u << i);
+    SARIS_CHECK(words_outstanding_ > 0, "DMA outstanding underflow");
+    --words_outstanding_;
+  }
+}
+
+void Dma::issue_words() {
+  // Issue up to one full datapath width of word ops for this row, on free
+  // ports in ascending order. The sparse path walks the clear bits of the
+  // busy mask; grant order and every observable side effect match the dense
+  // all-ports scan bit for bit.
+  u32 issued_bytes = 0;
+  // Returns false once the row or the datapath-width budget is exhausted.
+  auto try_port = [&](u32 i) -> bool {
+    if (row_pos_ >= cur_.row_bytes || issued_bytes >= kDmaWidthBytes) {
+      return false;
+    }
+    if (out_[i].in_flight || !tcdm_.port_idle(ports_[i])) return true;
+
+    Addr taddr = cur_.tcdm_addr +
+                 static_cast<i64>(cur_.tcdm_plane_stride) * cur_plane_ +
+                 static_cast<i64>(cur_.tcdm_row_stride) * cur_row_ + row_pos_;
+    u64 maddr = cur_.mem_addr + cur_.mem_plane_stride * cur_plane_ +
+                cur_.mem_row_stride * cur_row_ + row_pos_;
+
+    if (cur_.to_tcdm) {
+      u64 data = 0;
+      mem_.read(maddr, &data, kWordBytes);
+      tcdm_.post(ports_[i], taddr, kWordBytes, /*is_write=*/true, data);
+    } else {
+      tcdm_.post(ports_[i], taddr, kWordBytes, /*is_write=*/false, 0);
+    }
+    out_[i] = Outstanding{true, cur_.to_tcdm, maddr};
+    busy_mask_ |= 1u << i;
+    ++words_outstanding_;
+    row_pos_ += kWordBytes;
+    issued_bytes += kWordBytes;
+    bytes_moved_ += kWordBytes;
+    return true;
+  };
+
+  if (dense_) {
+    for (u32 i = 0; i < ports_.size(); ++i) {
+      if (!try_port(i)) break;
+    }
+    return;
+  }
+  u32 free = ~busy_mask_ & ((1u << ports_.size()) - 1);
+  for (u32 m = free; m != 0; m &= m - 1) {
+    if (!try_port(static_cast<u32>(std::countr_zero(m)))) break;
+  }
+}
+
 void Dma::tick(Cycle /*now*/) {
   // Idle short-circuit: no job, no queue, nothing in flight — the phases
   // below would all no-op (and active_cycles_ is only counted with a job).
   if (!job_active_ && jobs_.empty() && words_outstanding_ == 0) return;
 
   // Phase 1: retire responses from last cycle's arbitration.
-  for (u32 i = 0; i < ports_.size(); ++i) {
-    if (out_[i].in_flight && tcdm_.response_ready(ports_[i])) {
-      u64 data = tcdm_.take_response(ports_[i]);
-      if (!out_[i].to_tcdm) {
-        mem_.write(out_[i].mem_addr, &data, kWordBytes);
-      }
-      out_[i].in_flight = false;
-      SARIS_CHECK(words_outstanding_ > 0, "DMA outstanding underflow");
-      --words_outstanding_;
-    }
-  }
+  retire_responses();
 
   // Phase 2: job bookkeeping.
   if (!job_active_) {
@@ -80,32 +202,8 @@ void Dma::tick(Cycle /*now*/) {
     return;
   }
 
-  // Phase 3: issue up to one full datapath width of word ops for this row.
-  u32 issued_bytes = 0;
-  for (u32 i = 0; i < ports_.size(); ++i) {
-    if (row_pos_ >= cur_.row_bytes) break;
-    if (issued_bytes >= kDmaWidthBytes) break;
-    if (out_[i].in_flight || !tcdm_.port_idle(ports_[i])) continue;
-
-    Addr taddr = cur_.tcdm_addr +
-                 static_cast<i64>(cur_.tcdm_plane_stride) * cur_plane_ +
-                 static_cast<i64>(cur_.tcdm_row_stride) * cur_row_ + row_pos_;
-    u64 maddr = cur_.mem_addr + cur_.mem_plane_stride * cur_plane_ +
-                cur_.mem_row_stride * cur_row_ + row_pos_;
-
-    if (cur_.to_tcdm) {
-      u64 data = 0;
-      mem_.read(maddr, &data, kWordBytes);
-      tcdm_.post(ports_[i], taddr, kWordBytes, /*is_write=*/true, data);
-    } else {
-      tcdm_.post(ports_[i], taddr, kWordBytes, /*is_write=*/false, 0);
-    }
-    out_[i] = Outstanding{true, cur_.to_tcdm, maddr};
-    ++words_outstanding_;
-    row_pos_ += kWordBytes;
-    issued_bytes += kWordBytes;
-    bytes_moved_ += kWordBytes;
-  }
+  // Phase 3: issue new word ops.
+  issue_words();
 
   // Phase 4: advance to the next row once it is fully issued (outstanding
   // words drain in the background — rows pipeline across the per-row setup

@@ -45,13 +45,27 @@ class Dma {
   Dma(Tcdm& tcdm, MainMemory& mem);
 
   /// Enqueue a job (fails if the job queue is full — callers check `space`).
+  /// Jobs are validated up front: shape, alignment, and the full strided
+  /// extent against both the TCDM and main-memory sizes, so a bad job
+  /// aborts here with its coordinates instead of mid-tick on a word access.
   void push(const DmaJob& job);
   bool queue_full() const { return jobs_.full(); }
   bool idle() const;
 
   /// Advance one cycle: collect TCDM responses, then issue new word ops.
   /// Must be called before Tcdm::arbitrate() each cycle.
+  ///
+  /// Cost scales with in-flight words, not datapath width: an active-port
+  /// bitmask drives both response retirement (set bits) and word issue
+  /// (clear bits), so long idle-drain tails touch only the ports that still
+  /// have work — the same O(pending) trick as the TCDM arbiter.
   void tick(Cycle now);
+
+  /// Test hook: route tick() through the original dense scan over all
+  /// datapath ports. Used by the DMA-equivalence regression test and the
+  /// dense-baseline simulator mode; results must be identical in both modes.
+  void set_dense_scan(bool on) { dense_ = on; }
+  bool dense_scan() const { return dense_; }
 
   // ---- statistics ----
   u64 bytes_moved() const { return bytes_moved_; }
@@ -67,14 +81,19 @@ class Dma {
     u64 mem_addr = 0;  ///< main-memory address paired with this word
   };
 
+  void retire_responses();
+  void issue_words();
+
   bool job_active_ = false;
   bool issuing_done_ = false;  ///< all rows issued, draining outstanding
+  bool dense_ = false;
   DmaJob cur_{};
   u32 cur_row_ = 0;
   u32 cur_plane_ = 0;
   u32 row_pos_ = 0;       ///< bytes of the current row already issued
   u32 overhead_left_ = 0; ///< remaining row-setup cycles
   u32 words_outstanding_ = 0;
+  u32 busy_mask_ = 0;  ///< bit i set while port i has a word in flight
 
   void start_next_row();
   bool advance_row_cursor();  ///< returns false when the job is complete

@@ -1,21 +1,98 @@
 #include "mem/main_memory.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <mutex>
 
 #include "common/log.hpp"
 
 namespace saris {
 
-MainMemory::MainMemory(u64 size_bytes) : mem_(size_bytes, 0) {}
+namespace {
+
+// Process-wide chunk reuse pool. Sweeps run clusters on several worker
+// threads, so access is mutex-guarded; the lock is only taken on chunk
+// allocation/release, never on the per-word access path.
+std::mutex g_pool_mutex;
+std::vector<std::unique_ptr<u8[]>> g_pool;
+
+std::unique_ptr<u8[]> acquire_chunk() {
+  std::unique_ptr<u8[]> c;
+  {
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    if (!g_pool.empty()) {
+      c = std::move(g_pool.back());
+      g_pool.pop_back();
+    }
+  }
+  if (!c) {
+    return std::make_unique<u8[]>(MainMemory::kChunkBytes);  // value-init: 0
+  }
+  // Recycled chunks hold a previous run's data; memory reads as zero until
+  // written, so scrub — outside the lock, or the 1 MiB memset would
+  // serialize every sweep worker on the pool mutex.
+  std::memset(c.get(), 0, MainMemory::kChunkBytes);
+  return c;
+}
+
+void release_chunk(std::unique_ptr<u8[]> c) {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  g_pool.push_back(std::move(c));
+}
+
+}  // namespace
+
+MainMemory::MainMemory(u64 size_bytes)
+    : size_(size_bytes),
+      chunks_((size_bytes + kChunkBytes - 1) / kChunkBytes) {}
+
+MainMemory::~MainMemory() {
+  for (auto& c : chunks_) {
+    if (c) release_chunk(std::move(c));
+  }
+}
+
+u8* MainMemory::chunk_for_write(u64 chunk_idx) {
+  if (!chunks_[chunk_idx]) chunks_[chunk_idx] = acquire_chunk();
+  return chunks_[chunk_idx].get();
+}
 
 void MainMemory::write(u64 addr, const void* src, u64 len) {
-  SARIS_CHECK(addr + len <= mem_.size(), "main memory write out of range");
-  std::memcpy(mem_.data() + addr, src, len);
+  // Overflow-safe: `addr + len <= size_` wraps for large u64 addr and would
+  // let an out-of-range access through.
+  SARIS_CHECK(len <= size_ && addr <= size_ - len,
+              "main memory write out of range: addr=" << addr
+                  << " len=" << len << " size=" << size_);
+  const u8* s = static_cast<const u8*>(src);
+  while (len > 0) {
+    u64 ci = addr / kChunkBytes;
+    u64 off = addr % kChunkBytes;
+    u64 n = std::min(len, kChunkBytes - off);
+    std::memcpy(chunk_for_write(ci) + off, s, n);
+    addr += n;
+    s += n;
+    len -= n;
+  }
 }
 
 void MainMemory::read(u64 addr, void* dst, u64 len) const {
-  SARIS_CHECK(addr + len <= mem_.size(), "main memory read out of range");
-  std::memcpy(dst, mem_.data() + addr, len);
+  SARIS_CHECK(len <= size_ && addr <= size_ - len,
+              "main memory read out of range: addr=" << addr
+                  << " len=" << len << " size=" << size_);
+  u8* d = static_cast<u8*>(dst);
+  while (len > 0) {
+    u64 ci = addr / kChunkBytes;
+    u64 off = addr % kChunkBytes;
+    u64 n = std::min(len, kChunkBytes - off);
+    if (chunks_[ci]) {
+      std::memcpy(d, chunks_[ci].get() + off, n);
+    } else {
+      std::memset(d, 0, n);  // untouched ranges read as zero, no allocation
+    }
+    addr += n;
+    d += n;
+    len -= n;
+  }
 }
 
 double MainMemory::read_f64(u64 addr) const {
@@ -25,5 +102,23 @@ double MainMemory::read_f64(u64 addr) const {
 }
 
 void MainMemory::write_f64(u64 addr, double v) { write(addr, &v, 8); }
+
+u64 MainMemory::resident_bytes() const {
+  u64 n = 0;
+  for (const auto& c : chunks_) {
+    if (c) n += kChunkBytes;
+  }
+  return n;
+}
+
+std::size_t MainMemory::pool_chunks() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  return g_pool.size();
+}
+
+void MainMemory::trim_pool() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  g_pool.clear();
+}
 
 }  // namespace saris

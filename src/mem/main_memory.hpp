@@ -1,8 +1,17 @@
 // Flat main-memory model. It has no cycle-level behaviour of its own: all
 // timed traffic to it flows through the DMA engine, which models bandwidth
 // and per-burst overheads. Hosts grids between tile transfers.
+//
+// Backing storage is chunk-granular and lazily allocated: constructing a
+// 512 MiB memory touches no pages, reads of never-written ranges return
+// zeros without allocating, and only chunks that are actually written get
+// backing store. Released chunks go to a process-wide pool that the next
+// MainMemory instance reuses, so bench sweeps constructing tens of clusters
+// stop paying page-fault and zeroing cost proportional to the address-space
+// size (they pay it proportional to the bytes they actually touch).
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "common/types.hpp"
@@ -11,17 +20,37 @@ namespace saris {
 
 class MainMemory {
  public:
+  /// Granularity of lazy backing allocation (and of the cross-run pool).
+  static constexpr u64 kChunkBytes = 1ull << 20;  // 1 MiB
+
   explicit MainMemory(u64 size_bytes);
+  ~MainMemory();
+
+  MainMemory(const MainMemory&) = delete;
+  MainMemory& operator=(const MainMemory&) = delete;
 
   void write(u64 addr, const void* src, u64 len);
   void read(u64 addr, void* dst, u64 len) const;
   double read_f64(u64 addr) const;
   void write_f64(u64 addr, double v);
 
-  u64 size_bytes() const { return static_cast<u64>(mem_.size()); }
+  u64 size_bytes() const { return size_; }
+
+  /// Bytes of backing store actually allocated (chunk-granular). Stays 0
+  /// until the first write; reads never allocate.
+  u64 resident_bytes() const;
+
+  /// Chunks currently parked in the cross-run reuse pool (test/diagnostic
+  /// hook).
+  static std::size_t pool_chunks();
+  /// Free every pooled chunk (e.g. to bound memory at a sweep boundary).
+  static void trim_pool();
 
  private:
-  std::vector<u8> mem_;
+  u8* chunk_for_write(u64 chunk_idx);
+
+  u64 size_;
+  std::vector<std::unique_ptr<u8[]>> chunks_;  ///< nullptr = untouched (zero)
 };
 
 }  // namespace saris

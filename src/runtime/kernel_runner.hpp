@@ -24,7 +24,12 @@ struct RunConfig {
   bool verify = true;
   bool record_timeline = false;  ///< fill RunMetrics::fpu_timeline
   u64 seed = 1;
-  double tolerance = 1e-11;  ///< max relative error accepted (reassociation)
+  /// Max relative error accepted vs the golden reference. Covers
+  /// reassociation rounding, which is data-dependent: cancellation in the
+  /// reordered sums of the widest (3-D, 27-point) codes reaches a few
+  /// 1e-11 on decorrelated random inputs, still ~5 orders of magnitude
+  /// above double ulp and far below any real codegen bug.
+  double tolerance = 1e-10;
 };
 
 /// User-supplied kernel data: input grids (inputs[0] = current time step)

@@ -1,0 +1,150 @@
+#include "runtime/sweep.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace saris {
+
+u32 sweep_thread_count(u32 requested, std::size_t num_jobs) {
+  u32 n = requested;
+  if (n == 0) {
+    if (const char* env = std::getenv("SARIS_SWEEP_THREADS")) {
+      long v = std::strtol(env, nullptr, 10);
+      if (v > 0) n = static_cast<u32>(v);
+    }
+  }
+  if (n == 0) n = std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  if (num_jobs > 0 && n > num_jobs) n = static_cast<u32>(num_jobs);
+  return n;
+}
+
+std::vector<RunMetrics> run_sweep(const std::vector<SweepJob>& jobs,
+                                  u32 threads) {
+  std::vector<RunMetrics> results(jobs.size());
+  if (jobs.empty()) return results;
+  for (const SweepJob& j : jobs) {
+    SARIS_CHECK(j.code != nullptr, "sweep job without a stencil code");
+  }
+  u32 n = sweep_thread_count(threads, jobs.size());
+  if (n == 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      results[i] = run_kernel(*jobs[i].code, jobs[i].cfg);
+    }
+    return results;
+  }
+
+  // Work-stealing by shared counter: each worker claims the next unstarted
+  // job. Results land at their job's index, so ordering (and hence output
+  // determinism) is independent of which worker finishes when.
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(n);
+  for (u32 w = 0; w < n; ++w) {
+    workers.emplace_back([&] {
+      for (;;) {
+        std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= jobs.size()) return;
+        results[i] = run_kernel(*jobs[i].code, jobs[i].cfg);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  return results;
+}
+
+std::vector<MatrixRun> run_matrix(u64 seed, u32 threads) {
+  const std::vector<StencilCode>& codes = all_codes();
+  std::vector<SweepJob> jobs;
+  jobs.reserve(codes.size() * 2);
+  for (const StencilCode& sc : codes) {
+    for (KernelVariant v : {KernelVariant::kBase, KernelVariant::kSaris}) {
+      SweepJob j;
+      j.code = &sc;
+      j.cfg.variant = v;
+      j.cfg.seed = seed;
+      j.label = sc.name + "/" + variant_name(v);
+      jobs.push_back(std::move(j));
+    }
+  }
+  std::vector<RunMetrics> ms = run_sweep(jobs, threads);
+  std::vector<MatrixRun> rows(codes.size());
+  for (std::size_t c = 0; c < codes.size(); ++c) {
+    rows[c].code = &codes[c];
+    rows[c].base = std::move(ms[2 * c]);
+    rows[c].saris = std::move(ms[2 * c + 1]);
+  }
+  return rows;
+}
+
+bool metrics_bit_identical(const RunMetrics& a, const RunMetrics& b,
+                           std::string* why) {
+  auto fail = [&](const std::string& what) {
+    if (why) *why = what;
+    return false;
+  };
+#define SARIS_SWEEP_EQ(field)                    \
+  do {                                           \
+    if (a.field != b.field) return fail(#field); \
+  } while (0)
+  SARIS_SWEEP_EQ(cycles);
+  SARIS_SWEEP_EQ(core_busy);
+  SARIS_SWEEP_EQ(flops);
+  SARIS_SWEEP_EQ(fpu_useful_ops);
+  SARIS_SWEEP_EQ(fp_instrs);
+  SARIS_SWEEP_EQ(int_instrs);
+  SARIS_SWEEP_EQ(fp_loads);
+  SARIS_SWEEP_EQ(fp_stores);
+  SARIS_SWEEP_EQ(tcdm_accesses);
+  SARIS_SWEEP_EQ(tcdm_conflicts);
+  SARIS_SWEEP_EQ(tcdm_port_accesses);
+  SARIS_SWEEP_EQ(tcdm_port_conflicts);
+  SARIS_SWEEP_EQ(ssr_elems);
+  SARIS_SWEEP_EQ(ssr_idx_words);
+  SARIS_SWEEP_EQ(icache_misses);
+  SARIS_SWEEP_EQ(icache_hits);
+  SARIS_SWEEP_EQ(dma_util);
+  SARIS_SWEEP_EQ(dma_bytes);
+  SARIS_SWEEP_EQ(max_rel_err);
+  SARIS_SWEEP_EQ(fpu_timeline);
+#undef SARIS_SWEEP_EQ
+  if (a.per_core.size() != b.per_core.size()) return fail("per_core.size");
+  for (std::size_t c = 0; c < a.per_core.size(); ++c) {
+    const CorePerf& x = a.per_core[c];
+    const CorePerf& y = b.per_core[c];
+    const std::string who = "per_core[" + std::to_string(c) + "].";
+#define SARIS_SWEEP_EQ(field)                          \
+  do {                                                 \
+    if (x.field != y.field) return fail(who + #field); \
+  } while (0)
+    SARIS_SWEEP_EQ(int_instrs);
+    SARIS_SWEEP_EQ(fp_instrs);
+    SARIS_SWEEP_EQ(fpu_useful_ops);
+    SARIS_SWEEP_EQ(flops);
+    SARIS_SWEEP_EQ(fp_loads);
+    SARIS_SWEEP_EQ(fp_stores);
+    SARIS_SWEEP_EQ(stall_icache);
+    SARIS_SWEEP_EQ(stall_fpu_queue_full);
+    SARIS_SWEEP_EQ(stall_seq_busy);
+    SARIS_SWEEP_EQ(stall_scfg_busy);
+    SARIS_SWEEP_EQ(stall_branch);
+    SARIS_SWEEP_EQ(stall_barrier);
+    SARIS_SWEEP_EQ(stall_int_lsu);
+    SARIS_SWEEP_EQ(stall_halt_drain);
+    SARIS_SWEEP_EQ(fpu_stall_operand);
+    SARIS_SWEEP_EQ(fpu_stall_sr_empty);
+    SARIS_SWEEP_EQ(fpu_stall_sr_full);
+    SARIS_SWEEP_EQ(fpu_stall_mem);
+    SARIS_SWEEP_EQ(fpu_idle_empty);
+    SARIS_SWEEP_EQ(halted);
+    SARIS_SWEEP_EQ(halted_at);
+#undef SARIS_SWEEP_EQ
+  }
+  return true;
+}
+
+}  // namespace saris

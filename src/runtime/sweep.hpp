@@ -1,0 +1,56 @@
+// Sweep engine: fans a list of kernel runs (typically the paper's whole
+// (stencil code x variant) matrix) out across a pool of worker threads.
+//
+// Every job runs on its own Cluster, so jobs share no mutable state and the
+// simulator's determinism makes the parallel results bit-identical to the
+// sequential ones; the engine returns them in job order regardless of
+// completion order. All figure/table benches drive their runs through this
+// instead of hand-rolled loops.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/kernel_runner.hpp"
+#include "stencil/codes.hpp"
+
+namespace saris {
+
+/// One unit of sweep work: a stencil code run under one configuration.
+struct SweepJob {
+  const StencilCode* code = nullptr;
+  RunConfig cfg{};
+  std::string label;  ///< free-form tag, carried through for reporting
+};
+
+/// Resolve the worker count: `requested` if nonzero, else the
+/// SARIS_SWEEP_THREADS environment variable, else hardware concurrency;
+/// clamped to [1, num_jobs].
+u32 sweep_thread_count(u32 requested, std::size_t num_jobs);
+
+/// Run all jobs and return their metrics in job order. `threads` as in
+/// sweep_thread_count; 1 degenerates to a plain sequential loop (the
+/// equivalence baseline for the determinism test).
+std::vector<RunMetrics> run_sweep(const std::vector<SweepJob>& jobs,
+                                  u32 threads = 0);
+
+/// One (code, base, saris) row of the paper's evaluation matrix.
+struct MatrixRun {
+  const StencilCode* code = nullptr;
+  RunMetrics base;
+  RunMetrics saris;
+};
+
+/// Run both variants of every Table 1 code — the sweep behind fig3a/3b/4/5,
+/// table 2, and the roofline — and return one row per code, in Table 1
+/// order.
+std::vector<MatrixRun> run_matrix(u64 seed = 1, u32 threads = 0);
+
+/// True iff every simulation-determined field of the two metrics matches
+/// exactly (host wall-clock time is excluded — it is the one field the
+/// simulator does not determine). On mismatch, `why` (when non-null) names
+/// the first differing field.
+bool metrics_bit_identical(const RunMetrics& a, const RunMetrics& b,
+                           std::string* why = nullptr);
+
+}  // namespace saris

@@ -42,20 +42,31 @@ class Grid {
 
   /// Deterministic pseudo-random fill (splitmix-style), seedable so tests
   /// and benches are reproducible.
+  ///
+  /// The stream origin is the seed passed through a full splitmix64
+  /// finalizer, not an affine map of it: the per-element counter advances by
+  /// the same odd constant an affine origin would, so `seed` and `seed + 1`
+  /// would otherwise land on the *same* counter sequence one element apart
+  /// and produce shifted copies of each other (callers routinely use
+  /// adjacent seeds for "independent" arrays).
   void fill_random(u64 seed, double lo = -1.0, double hi = 1.0) {
-    u64 s = seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull;
+    u64 s = mix64(seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull);
     for (std::size_t i = 0; i < data_.size(); ++i) {
       s += 0x9E3779B97F4A7C15ull;
-      u64 z = s;
-      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-      z ^= z >> 31;
+      u64 z = mix64(s);
       double u = static_cast<double>(z >> 11) * 0x1.0p-53;
       data_[i] = static_cast<T>(lo + (hi - lo) * u);
     }
   }
 
  private:
+  /// splitmix64 output finalizer (Steele et al.): a bijective avalanche mix.
+  static u64 mix64(u64 z) {
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
   u32 nx_, ny_, nz_;
   std::vector<T> data_;
 };

@@ -202,6 +202,113 @@ TEST(DmaDeath, RejectsNonWordRow) {
   EXPECT_DEATH(r.dma.push(j), "multiple of 8");
 }
 
+TEST(Dma, SparseScanMatchesDenseScan) {
+  // The active-port-mask tick must be cycle-for-cycle identical to the
+  // dense all-ports scan: same per-cycle byte/activity trajectory, same
+  // final TCDM and main-memory contents, same TCDM statistics.
+  auto digest_run = [](bool dense) {
+    DmaRig r;
+    r.dma.set_dense_scan(dense);
+    for (u32 i = 0; i < 256; ++i) r.mem.write_f64(8 * i, i * 0.5 + 1.0);
+    for (u32 i = 0; i < 64; ++i) r.tcdm.host_write_f64(8192 + 8 * i, i - 3.5);
+
+    DmaJob in3d;  // short strided rows: long drain tails between rows
+    in3d.to_tcdm = true;
+    in3d.tcdm_addr = 0;
+    in3d.mem_addr = 0;
+    in3d.row_bytes = 16;
+    in3d.rows = 3;
+    in3d.tcdm_row_stride = 64;
+    in3d.mem_row_stride = 16;
+    in3d.planes = 2;
+    in3d.tcdm_plane_stride = 1024;
+    in3d.mem_plane_stride = 48;
+    r.dma.push(in3d);
+
+    DmaJob out1d;  // TCDM -> memory direction exercises retirement writes
+    out1d.to_tcdm = false;
+    out1d.tcdm_addr = 8192;
+    out1d.mem_addr = 65536;
+    out1d.row_bytes = 64 * 8;
+    r.dma.push(out1d);
+
+    DmaJob in1d;  // full-width rows: all eight ports busy at once
+    in1d.to_tcdm = true;
+    in1d.tcdm_addr = 4096;
+    in1d.mem_addr = 1024;
+    in1d.row_bytes = 512;
+    r.dma.push(in1d);
+
+    u64 digest = 0;
+    Cycle cyc = 0;
+    while (!r.dma.idle()) {
+      r.dma.tick(cyc);
+      r.tcdm.arbitrate(cyc);
+      digest = digest * 31 + r.dma.bytes_moved();
+      digest = digest * 31 + r.dma.active_cycles();
+      EXPECT_LT(++cyc, 100000u) << "DMA did not drain";
+    }
+    digest = digest * 31 + r.tcdm.total_accesses();
+    digest = digest * 31 + r.tcdm.total_conflicts();
+    for (u32 i = 0; i < 64; ++i) {
+      digest = digest * 31 + r.tcdm.host_read_u64(4096 + 8 * i);
+      u64 w;
+      r.mem.read(65536 + 8 * i, &w, 8);
+      digest = digest * 31 + w;
+    }
+    return digest;
+  };
+  EXPECT_EQ(digest_run(/*dense=*/true), digest_run(/*dense=*/false));
+}
+
+TEST(DmaDeath, RejectsJobBeyondMainMemory) {
+  DmaRig r;  // 1 MiB main memory
+  DmaJob j;
+  j.to_tcdm = true;
+  j.tcdm_addr = 0;
+  j.mem_addr = (1u << 20) - 8;
+  j.row_bytes = 16;  // last word lands past the end
+  EXPECT_DEATH(r.dma.push(j), "main-memory extent out of range");
+}
+
+TEST(DmaDeath, RejectsJobBeyondTcdm) {
+  DmaRig r;
+  DmaJob j;
+  j.to_tcdm = true;
+  j.tcdm_addr = 0;
+  j.mem_addr = 0;
+  j.row_bytes = 64;
+  j.rows = 4096;  // row stride walks far past 128 KiB
+  j.tcdm_row_stride = 64;
+  j.mem_row_stride = 64;
+  EXPECT_DEATH(r.dma.push(j), "TCDM extent out of range");
+}
+
+TEST(DmaDeath, RejectsNegativeStrideUnderflow) {
+  DmaRig r;
+  DmaJob j;
+  j.to_tcdm = true;
+  j.tcdm_addr = 64;
+  j.mem_addr = 0;
+  j.row_bytes = 8;
+  j.rows = 3;
+  j.tcdm_row_stride = -64;  // second/third rows start below address 0
+  j.mem_row_stride = 8;
+  EXPECT_DEATH(r.dma.push(j), "TCDM extent out of range");
+}
+
+TEST(DmaDeath, RejectsWrappingMemAddress) {
+  DmaRig r;
+  DmaJob j;
+  j.to_tcdm = true;
+  j.tcdm_addr = 0;
+  // Huge aligned base: `mem_addr + row_bytes` wraps u64, so a wrap-unsafe
+  // bound check would accept it. Validation must reject at push time.
+  j.mem_addr = ~0ull - 7;
+  j.row_bytes = 16;
+  EXPECT_DEATH(r.dma.push(j), "main-memory extent out of range");
+}
+
 TEST(MainMemory, ReadWriteRoundTrip) {
   MainMemory m(4096);
   double v = 3.14159;
@@ -210,9 +317,74 @@ TEST(MainMemory, ReadWriteRoundTrip) {
   EXPECT_EQ(m.size_bytes(), 4096u);
 }
 
+TEST(MainMemory, LazyBackingAllocation) {
+  MainMemory m(512ull * 1024 * 1024);
+  EXPECT_EQ(m.resident_bytes(), 0u);  // construction touches no pages
+
+  // Reads of never-written ranges return zeros without allocating.
+  std::vector<u8> buf(4096, 0xAB);
+  m.read(100ull * 1024 * 1024, buf.data(), buf.size());
+  for (u8 b : buf) EXPECT_EQ(b, 0u);
+  EXPECT_DOUBLE_EQ(m.read_f64(400ull * 1024 * 1024), 0.0);
+  EXPECT_EQ(m.resident_bytes(), 0u);
+
+  // A write allocates exactly the chunks it touches.
+  m.write_f64(200ull * 1024 * 1024, 2.5);
+  EXPECT_EQ(m.resident_bytes(), MainMemory::kChunkBytes);
+  EXPECT_DOUBLE_EQ(m.read_f64(200ull * 1024 * 1024), 2.5);
+}
+
+TEST(MainMemory, AccessesSpanningChunkBoundary) {
+  MainMemory m(4 * MainMemory::kChunkBytes);
+  std::vector<u8> src(MainMemory::kChunkBytes + 4096);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<u8>(i * 131 + 7);
+  }
+  u64 addr = MainMemory::kChunkBytes - 2048;  // straddles two boundaries
+  m.write(addr, src.data(), src.size());
+  EXPECT_EQ(m.resident_bytes(), 3 * MainMemory::kChunkBytes);
+  std::vector<u8> back(src.size());
+  m.read(addr, back.data(), back.size());
+  EXPECT_EQ(src, back);
+}
+
+TEST(MainMemory, ChunkPoolRecyclesAcrossInstances) {
+  MainMemory::trim_pool();
+  {
+    MainMemory m(16 * MainMemory::kChunkBytes);
+    m.write_f64(0, 1.0);
+    m.write_f64(5 * MainMemory::kChunkBytes, 2.0);
+  }
+  // The two touched chunks were parked in the pool at destruction...
+  EXPECT_EQ(MainMemory::pool_chunks(), 2u);
+  {
+    // ...and the next instance drains them (scrubbed back to zero) before
+    // allocating anything new.
+    MainMemory m(16 * MainMemory::kChunkBytes);
+    m.write_f64(8, 3.0);
+    EXPECT_EQ(MainMemory::pool_chunks(), 1u);
+    EXPECT_DOUBLE_EQ(m.read_f64(0), 0.0);  // recycled chunk reads as zero
+    m.write_f64(MainMemory::kChunkBytes, 4.0);
+    EXPECT_EQ(MainMemory::pool_chunks(), 0u);
+  }
+  EXPECT_EQ(MainMemory::pool_chunks(), 2u);
+  MainMemory::trim_pool();
+  EXPECT_EQ(MainMemory::pool_chunks(), 0u);
+}
+
 TEST(MainMemoryDeath, OutOfRangeAborts) {
   MainMemory m(16);
   EXPECT_DEATH(m.write_f64(16, 1.0), "out of range");
+}
+
+TEST(MainMemoryDeath, WrappingAddressAborts) {
+  // Regression: the bound check used to be `addr + len <= size`, which
+  // wraps for large u64 addr and let the access through to memcpy.
+  MainMemory m(16);
+  double v = 0.0;
+  EXPECT_DEATH(m.read(~0ull - 7, &v, 16), "out of range");
+  EXPECT_DEATH(m.write(~0ull - 7, &v, 8), "out of range");
+  EXPECT_DEATH(m.read(8, &v, ~0ull - 4), "out of range");
 }
 
 }  // namespace

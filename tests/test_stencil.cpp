@@ -179,6 +179,29 @@ TEST(Grid, FillRandomDeterministic) {
   EXPECT_TRUE(any_diff);
 }
 
+TEST(Grid, AdjacentSeedsAreNotShiftedCopies) {
+  // Regression: the stream origin used to be an affine map of the seed with
+  // the same odd constant used as the per-element increment, so
+  // fill_random(s + 1) produced exactly fill_random(s) shifted by one
+  // element — and run_kernel seeds input array i with cfg.seed + i, which
+  // made all "independent" input grids shifted copies of one another.
+  Grid<> a(16, 16), b(16, 16);
+  a.fill_random(7);
+  b.fill_random(8);
+  // Values carry 53 random bits: any exact match between the two streams at
+  // a small relative shift indicates seed aliasing, not coincidence.
+  const i64 n = static_cast<i64>(a.size());
+  for (i64 shift = -4; shift <= 4; ++shift) {
+    u32 matches = 0;
+    for (i64 i = 0; i < n; ++i) {
+      i64 j = i + shift;
+      if (j < 0 || j >= n) continue;
+      if (a.data()[j] == b.data()[i]) ++matches;
+    }
+    EXPECT_EQ(matches, 0u) << "streams alias at shift " << shift;
+  }
+}
+
 TEST(Grid, FillRandomRespectsBounds) {
   Grid<> g(16, 16);
   g.fill_random(3, -0.5, 0.5);

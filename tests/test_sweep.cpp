@@ -1,0 +1,86 @@
+// Unit tests: sweep engine — thread-count resolution, job ordering, and the
+// determinism contract (parallel results bit-identical to the sequential
+// path, every simulation-determined field compared).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "runtime/sweep.hpp"
+#include "stencil/codes.hpp"
+
+namespace saris {
+namespace {
+
+TEST(SweepThreads, RequestedWinsAndClampsToJobs) {
+  EXPECT_EQ(sweep_thread_count(3, 100), 3u);
+  EXPECT_EQ(sweep_thread_count(8, 2), 2u);   // never more workers than jobs
+  EXPECT_EQ(sweep_thread_count(0, 0), 1u);   // degenerate: at least one
+  EXPECT_GE(sweep_thread_count(0, 100), 1u); // auto resolves to something
+}
+
+TEST(SweepThreads, EnvOverrideWhenNotRequested) {
+  ASSERT_EQ(setenv("SARIS_SWEEP_THREADS", "5", /*overwrite=*/1), 0);
+  EXPECT_EQ(sweep_thread_count(0, 100), 5u);
+  EXPECT_EQ(sweep_thread_count(2, 100), 2u);  // explicit request wins
+  ASSERT_EQ(setenv("SARIS_SWEEP_THREADS", "0", 1), 0);
+  EXPECT_GE(sweep_thread_count(0, 100), 1u);  // junk value falls through
+  ASSERT_EQ(unsetenv("SARIS_SWEEP_THREADS"), 0);
+}
+
+TEST(Sweep, EmptyJobListIsFine) {
+  EXPECT_TRUE(run_sweep({}, 4).empty());
+}
+
+// A subset of the matrix spanning 2-D/3-D codes and both variants keeps the
+// runtime reasonable while exercising every moving part: worker handoff,
+// lazy-memory pooling under thread churn, and ordered result placement.
+std::vector<SweepJob> subset_jobs() {
+  std::vector<SweepJob> jobs;
+  for (const char* name : {"jacobi_2d", "box2d1r", "star3d2r"}) {
+    for (KernelVariant v : {KernelVariant::kBase, KernelVariant::kSaris}) {
+      SweepJob j;
+      j.code = &code_by_name(name);
+      j.cfg.variant = v;
+      j.label = std::string(name) + "/" + variant_name(v);
+      jobs.push_back(std::move(j));
+    }
+  }
+  return jobs;
+}
+
+TEST(Sweep, ParallelBitIdenticalToSequential) {
+  std::vector<SweepJob> jobs = subset_jobs();
+  std::vector<RunMetrics> seq = run_sweep(jobs, /*threads=*/1);
+  std::vector<RunMetrics> par = run_sweep(jobs, /*threads=*/4);
+  ASSERT_EQ(seq.size(), jobs.size());
+  ASSERT_EQ(par.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    std::string why;
+    EXPECT_TRUE(metrics_bit_identical(seq[i], par[i], &why))
+        << jobs[i].label << ": " << why;
+  }
+  // Results must sit at their job's index: adjacent (base, saris) pairs of
+  // the same code differ (saris is the speedup claim of the whole paper),
+  // so index-misplaced results cannot satisfy this.
+  for (std::size_t i = 0; i + 1 < jobs.size(); i += 2) {
+    EXPECT_GT(par[i].cycles, par[i + 1].cycles) << jobs[i].label;
+  }
+}
+
+TEST(Sweep, ComparatorCatchesDivergence) {
+  std::vector<SweepJob> jobs = subset_jobs();
+  jobs.resize(1);
+  std::vector<RunMetrics> m = run_sweep(jobs, 1);
+  RunMetrics tweaked = m[0];
+  tweaked.per_core[3].fpu_idle_empty += 1;
+  std::string why;
+  EXPECT_FALSE(metrics_bit_identical(m[0], tweaked, &why));
+  EXPECT_EQ(why, "per_core[3].fpu_idle_empty");
+  // Host wall-clock is the one excluded field.
+  tweaked = m[0];
+  tweaked.step_wall_seconds *= 2;
+  EXPECT_TRUE(metrics_bit_identical(m[0], tweaked, nullptr));
+}
+
+}  // namespace
+}  // namespace saris
