@@ -7,6 +7,7 @@
 #include "common/stats.hpp"
 #include "report/csv.hpp"
 #include "report/table.hpp"
+#include "runtime/plan_cache.hpp"
 #include "runtime/sweep.hpp"
 #include "stencil/codes.hpp"
 
@@ -29,5 +30,6 @@ int main() {
   std::printf("%s", t.str().c_str());
   std::printf("geomean speedup: %.2fx   (paper: 2.72x, range 2.36x-3.87x)\n",
               geomean(speedups));
+  std::printf("%s\n", PlanCache::global().summary().c_str());
   return 0;
 }

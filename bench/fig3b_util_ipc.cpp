@@ -6,6 +6,7 @@
 #include "common/stats.hpp"
 #include "report/csv.hpp"
 #include "report/table.hpp"
+#include "runtime/plan_cache.hpp"
 #include "runtime/sweep.hpp"
 #include "stencil/codes.hpp"
 
@@ -35,5 +36,6 @@ int main() {
       geomean(bu) * 100, geomean(bi), geomean(su) * 100, geomean(si));
   std::printf("paper:   base util 35%%, base IPC 0.89, saris util 81%%, "
               "saris IPC 1.11\n");
+  std::printf("%s\n", PlanCache::global().summary().c_str());
   return 0;
 }

@@ -12,6 +12,7 @@
 #include "energy/energy_model.hpp"
 #include "report/csv.hpp"
 #include "report/table.hpp"
+#include "runtime/plan_cache.hpp"
 #include "runtime/sweep.hpp"
 #include "stencil/codes.hpp"
 
@@ -43,5 +44,6 @@ int main() {
       max_of(gains));
   std::printf("paper:   base 227 mW, saris 390 mW, gain 1.58x "
               "(range 1.27x-2.17x)\n");
+  std::printf("%s\n", PlanCache::global().summary().c_str());
   return 0;
 }

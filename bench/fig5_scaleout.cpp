@@ -9,6 +9,7 @@
 #include "common/stats.hpp"
 #include "report/csv.hpp"
 #include "report/table.hpp"
+#include "runtime/plan_cache.hpp"
 #include "runtime/sweep.hpp"
 #include "scaleout/manticore.hpp"
 #include "stencil/codes.hpp"
@@ -62,5 +63,6 @@ int main() {
               peak_gflops, peak_frac * 100, cfg.peak_gflops());
   std::printf("paper:   base util 35%%, saris util 64%%, speedup 2.14x, "
               "7 memory-bound (1.78x), peak 406 GFLOP/s (79%%)\n");
+  std::printf("%s\n", PlanCache::global().summary().c_str());
   return 0;
 }

@@ -11,6 +11,7 @@
 #include "isa/disasm.hpp"
 #include "report/table.hpp"
 #include "runtime/kernel_runner.hpp"
+#include "runtime/plan_cache.hpp"
 #include "stencil/codes.hpp"
 
 int main() {
@@ -66,5 +67,6 @@ int main() {
   for (u32 i = 0; i < n; ++i) {
     std::printf("  %2u: %s\n", i, disasm(head.at(i)).c_str());
   }
+  std::printf("%s\n", PlanCache::global().summary().c_str());
   return 0;
 }

@@ -6,6 +6,7 @@
 
 #include "report/csv.hpp"
 #include "report/table.hpp"
+#include "runtime/plan_cache.hpp"
 #include "runtime/sweep.hpp"
 #include "scaleout/manticore.hpp"
 #include "scaleout/roofline.hpp"
@@ -42,5 +43,6 @@ int main() {
   std::printf("saris achieves a high fraction of each code's *roof*: the "
               "residual gaps are DMA burst efficiency (memory-bound codes) "
               "and FPU-utilization losses (compute-bound codes).\n");
+  std::printf("%s\n", PlanCache::global().summary().c_str());
   return 0;
 }

@@ -1,15 +1,22 @@
 // Sweep-engine wall-clock harness and CI smoke: runs the full fig3a matrix
-// (all Table 1 codes, base and saris) once sequentially and once through the
-// thread pool, checks the parallel metrics are bit-identical to the
-// sequential ones, and reports end-to-end wall-clock speedup. The
-// comparison is the determinism contract of runtime/sweep.hpp enforced on
-// real hardware, including the lazy pooled MainMemory under thread churn.
+// (all Table 1 codes, base and saris)
+//   1. sequentially with cold caches (plan cache + golden-reference memo
+//      cleared): every cell compiles,
+//   2. sequentially again, warm: every cell is a plan-cache hit and compile
+//      time must be ~0,
+//   3. through the worker-thread pool (warm),
+// checks runs 2 and 3 are bit-identical to run 1 per (code, variant), and
+// requires a non-zero cache hit count on the warm runs. The comparison is
+// the determinism contract of runtime/sweep.hpp — and the warm-equals-cold
+// guarantee of runtime/plan_cache.hpp — enforced on real hardware,
+// including the lazy pooled MainMemory under thread churn.
 //
-// Emits BENCH_sweep_wallclock.json so the sweep-parallelism trajectory is
-// tracked across PRs. Usage:
+// Emits BENCH_sweep_wallclock.json so the sweep-parallelism and
+// compile-amortization trajectories are tracked across PRs. Usage:
 //   sweep_wallclock [--threads N] [--min-speedup X] [--json PATH]
-// Exits nonzero on a determinism violation, or when --min-speedup is given
-// and the parallel/sequential wall-clock ratio falls below X.
+// Exits nonzero on a determinism violation, a hitless warm run, or when
+// --min-speedup is given and the warm-sequential/parallel wall-clock ratio
+// falls below X.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -18,22 +25,59 @@
 
 #include "mem/main_memory.hpp"
 #include "report/table.hpp"
+#include "runtime/plan_cache.hpp"
 #include "runtime/sweep.hpp"
 #include "stencil/codes.hpp"
+#include "stencil/reference.hpp"
 
 namespace {
 
 using namespace saris;
 
-double wall_seconds(std::vector<MatrixRun>& out, u32 threads) {
-  // Both timed runs start with a cold chunk pool: without this, the first
-  // run warms the pool for the second and the reported speedup over-credits
-  // the thread pool with the pool-warming effect.
+struct TimedRun {
+  std::vector<MatrixRun> rows;
+  double seconds = 0.0;
+  double compile_seconds = 0.0;  ///< plan-cache compile time in this run
+  u64 cache_hits = 0;            ///< plan-cache hits in this run
+  u64 cache_misses = 0;          ///< plan-cache compiles in this run
+};
+
+TimedRun timed_matrix(u32 threads, bool cold) {
+  // Every timed run starts with a cold chunk pool: without this, the first
+  // run warms the pool for the later ones and the reported ratios
+  // over-credit whatever ran second.
   MainMemory::trim_pool();
+  if (cold) {
+    PlanCache::global().clear();
+    clear_reference_memo();
+  }
+  PlanCache::Stats before = PlanCache::global().stats();
+  TimedRun r;
   auto t0 = std::chrono::steady_clock::now();
-  out = run_matrix(/*seed=*/1, threads);
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
+  r.rows = run_matrix(/*seed=*/1, threads);
+  r.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  PlanCache::Stats after = PlanCache::global().stats();
+  r.compile_seconds = after.compile_seconds - before.compile_seconds;
+  r.cache_hits = after.hits - before.hits;
+  r.cache_misses = after.misses - before.misses;
+  return r;
+}
+
+bool matrices_bit_identical(const std::vector<MatrixRun>& a,
+                            const std::vector<MatrixRun>& b,
+                            const char* what) {
+  for (std::size_t c = 0; c < a.size(); ++c) {
+    std::string why;
+    if (!metrics_bit_identical(a[c].base, b[c].base, &why) ||
+        !metrics_bit_identical(a[c].saris, b[c].saris, &why)) {
+      std::fprintf(stderr, "FAIL: %s sweep diverged from cold on %s (%s)\n",
+                   what, a[c].code->name.c_str(), why.c_str());
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -58,37 +102,52 @@ int main(int argc, char** argv) {
   }
   threads = sweep_thread_count(threads, all_codes().size() * 2);
 
-  std::printf("== Sweep wall-clock: sequential vs %u worker threads ==\n",
+  std::printf("== Sweep wall-clock: cold vs warm, sequential vs %u worker "
+              "threads ==\n",
               threads);
-  std::vector<MatrixRun> seq, par;
-  double seq_seconds = wall_seconds(seq, /*threads=*/1);
-  double par_seconds = wall_seconds(par, threads);
+  TimedRun cold = timed_matrix(/*threads=*/1, /*cold=*/true);
+  TimedRun warm = timed_matrix(/*threads=*/1, /*cold=*/false);
+  TimedRun par = timed_matrix(threads, /*cold=*/false);
 
-  // Determinism contract: the parallel sweep must be bit-identical to the
-  // sequential one, per (code, variant).
-  for (std::size_t c = 0; c < seq.size(); ++c) {
-    std::string why;
-    if (!metrics_bit_identical(seq[c].base, par[c].base, &why) ||
-        !metrics_bit_identical(seq[c].saris, par[c].saris, &why)) {
-      std::fprintf(stderr,
-                   "FAIL: parallel sweep diverged from sequential on %s (%s)\n",
-                   seq[c].code->name.c_str(), why.c_str());
-      return 1;
-    }
+  // Determinism contract: warm (cache-hit) and parallel sweeps must be
+  // bit-identical to the cold sequential one, per (code, variant).
+  if (!matrices_bit_identical(cold.rows, warm.rows, "warm") ||
+      !matrices_bit_identical(cold.rows, par.rows, "parallel")) {
+    return 1;
+  }
+  // Cache contract: warm runs must hit on every cell and compile nothing —
+  // a partial-hit warm run means the cache key went non-deterministic.
+  if (warm.cache_hits == 0 || par.cache_hits == 0 ||
+      warm.cache_misses != 0 || par.cache_misses != 0) {
+    std::fprintf(
+        stderr,
+        "FAIL: warm sweep recompiled (warm %llu hits / %llu misses, "
+        "par %llu hits / %llu misses)\n",
+        static_cast<unsigned long long>(warm.cache_hits),
+        static_cast<unsigned long long>(warm.cache_misses),
+        static_cast<unsigned long long>(par.cache_hits),
+        static_cast<unsigned long long>(par.cache_misses));
+    return 1;
   }
 
   TextTable t({"code", "base cycles", "saris cycles"});
-  for (const MatrixRun& r : par) {
+  for (const MatrixRun& r : par.rows) {
     t.add_row({r.code->name, std::to_string(r.base.cycles),
                std::to_string(r.saris.cycles)});
   }
   std::printf("%s", t.str().c_str());
 
-  double speedup = par_seconds > 0.0 ? seq_seconds / par_seconds : 0.0;
+  double speedup = par.seconds > 0.0 ? warm.seconds / par.seconds : 0.0;
   std::printf(
-      "matrix wall-clock: %.3f s sequential, %.3f s with %u threads -> "
-      "%.2fx (parallel results bit-identical to sequential)\n",
-      seq_seconds, par_seconds, threads, speedup);
+      "compile time: %.3f s cold -> %.3f s warm (%llu cells compiled once, "
+      "%llu warm hits)\n",
+      cold.compile_seconds, warm.compile_seconds,
+      static_cast<unsigned long long>(cold.cache_misses),
+      static_cast<unsigned long long>(warm.cache_hits));
+  std::printf(
+      "matrix wall-clock: %.3f s cold, %.3f s warm sequential, %.3f s with "
+      "%u threads -> %.2fx (warm and parallel bit-identical to cold)\n",
+      cold.seconds, warm.seconds, par.seconds, threads, speedup);
 
   std::FILE* f = std::fopen(json_path, "w");
   if (!f) {
@@ -98,19 +157,25 @@ int main(int argc, char** argv) {
   std::fprintf(f,
                "{\n  \"bench\": \"sweep_wallclock\",\n"
                "  \"threads\": %u,\n"
-               "  \"sequential_seconds\": %.6e,\n"
+               "  \"cold_seconds\": %.6e,\n"
+               "  \"warm_seconds\": %.6e,\n"
                "  \"parallel_seconds\": %.6e,\n"
+               "  \"cold_compile_seconds\": %.6e,\n"
+               "  \"warm_compile_seconds\": %.6e,\n"
+               "  \"warm_cache_hits\": %llu,\n"
                "  \"speedup\": %.3f,\n"
                "  \"bit_identical\": true,\n  \"runs\": [\n",
-               threads, seq_seconds, par_seconds, speedup);
-  for (std::size_t c = 0; c < par.size(); ++c) {
+               threads, cold.seconds, warm.seconds, par.seconds,
+               cold.compile_seconds, warm.compile_seconds,
+               static_cast<unsigned long long>(warm.cache_hits), speedup);
+  for (std::size_t c = 0; c < par.rows.size(); ++c) {
     std::fprintf(f,
                  "    {\"code\": \"%s\", \"base_cycles\": %llu, "
                  "\"saris_cycles\": %llu}%s\n",
-                 par[c].code->name.c_str(),
-                 static_cast<unsigned long long>(par[c].base.cycles),
-                 static_cast<unsigned long long>(par[c].saris.cycles),
-                 c + 1 < par.size() ? "," : "");
+                 par.rows[c].code->name.c_str(),
+                 static_cast<unsigned long long>(par.rows[c].base.cycles),
+                 static_cast<unsigned long long>(par.rows[c].saris.cycles),
+                 c + 1 < par.rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

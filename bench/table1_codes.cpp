@@ -8,6 +8,7 @@
 
 #include "report/csv.hpp"
 #include "report/table.hpp"
+#include "runtime/plan_cache.hpp"
 #include "runtime/sweep.hpp"
 #include "stencil/codes.hpp"
 
@@ -55,5 +56,6 @@ int main() {
   std::printf("simulated cross-check: all %zu codes execute their Table 1 "
               "FLOP counts in both variants\n",
               runs.size());
+  std::printf("%s\n", PlanCache::global().summary().c_str());
   return 0;
 }

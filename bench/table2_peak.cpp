@@ -9,6 +9,7 @@
 
 #include "report/csv.hpp"
 #include "report/table.hpp"
+#include "runtime/plan_cache.hpp"
 #include "runtime/sweep.hpp"
 #include "scaleout/manticore.hpp"
 #include "stencil/codes.hpp"
@@ -64,5 +65,6 @@ int main() {
   std::printf("best code: %s at %.0f%% of peak (paper: 79%%, best GPU "
               "generator AN5D: 69%%)\n",
               best_code.c_str(), best * 100);
+  std::printf("%s\n", PlanCache::global().summary().c_str());
   return 0;
 }

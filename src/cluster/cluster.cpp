@@ -42,6 +42,7 @@ void Cluster::step() {
     step_dense();
     return;
   }
+  just_deactivated_.clear();
 
   // A retired or parked core can only come back to life from the outside
   // (load_program/reset between runs); re-admit such cores before ticking.
@@ -89,6 +90,7 @@ void Cluster::update_core_states() {
          (c.waiting_at_barrier() && !barrier_.released(id)))) {
       state_[id] = c.halted() ? CoreState::kRetired : CoreState::kParked;
       last_ticked_[id] = now_;
+      just_deactivated_.push_back(id);
       active_ids_[i] = active_ids_.back();
       active_ids_.pop_back();
     } else {

@@ -54,6 +54,19 @@ class Cluster {
   /// under the dense baseline.
   bool all_halted() const;
 
+  /// Cores ticked by the most recent step(): the current active list plus
+  /// deactivated_last_step() (cores parked/retired during that very step —
+  /// a core can issue its last useful FPU op on the cycle it drains and
+  /// parks, so it must still be scanned once). Lets per-cycle
+  /// instrumentation (e.g. the FPU-activity timeline) visit only cores
+  /// whose counters can have changed instead of densely scanning all of
+  /// them. Under the dense baseline the active list is every core and the
+  /// deactivated list is empty.
+  const std::vector<u32>& active_core_ids() const { return active_ids_; }
+  const std::vector<u32>& deactivated_last_step() const {
+    return just_deactivated_;
+  }
+
   /// Fold the ticks skipped for parked/retired cores into their idle
   /// counters (FPU idle, barrier stalls) up to the current cycle. Called
   /// automatically by the run_until_* loops; call it manually before
@@ -92,6 +105,7 @@ class Cluster {
   // Event-driven bookkeeping.
   std::vector<CoreState> state_;
   std::vector<u32> active_ids_;
+  std::vector<u32> just_deactivated_;  ///< parked/retired by the last step
   std::vector<Cycle> last_ticked_;  ///< counters are exact through here
   u32 halted_count_ = 0;
   std::vector<bool> halted_seen_;

@@ -15,6 +15,27 @@ struct CodegenOptions {
   i32 stream_coeffs = -1;  ///< saris: -1 auto, 0 never, 1 force
   u32 pair_pipeline = 2;   ///< pair-adds kept in flight (AxisPairs codes)
   u32 base_staging = 4;    ///< baseline: load staging registers per instance
+
+  /// Canonical equality/hash over every tunable. The plan cache keys
+  /// compiled kernels on this, so any new field added above MUST take part
+  /// in both (the defaulted == does so automatically; extend hash() too).
+  bool operator==(const CodegenOptions&) const = default;
+
+  /// FNV-1a over the tunables; collision-safe use pairs it with ==.
+  u64 hash() const {
+    u64 h = 14695981039346656037ull;
+    auto mix = [&h](u64 v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    mix(unroll);
+    mix(chains);
+    mix(use_frep ? 1 : 0);
+    mix(static_cast<u64>(static_cast<i64>(stream_coeffs)));
+    mix(pair_pipeline);
+    mix(base_staging);
+    return h;
+  }
 };
 
 }  // namespace saris

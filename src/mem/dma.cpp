@@ -32,6 +32,25 @@ Extent job_extent(__int128 base, i64 row_stride, i64 plane_stride, u32 rows,
 
 }  // namespace
 
+DmaJob make_tile_dma_job(bool to_tcdm, Addr tcdm_base, u64 mem_addr,
+                         u32 grid_nx, u32 grid_ny, u32 x0, u32 y0, u32 z0,
+                         u32 nx, u32 ny, u32 nz) {
+  DmaJob j;
+  j.to_tcdm = to_tcdm;
+  j.tcdm_addr = tcdm_base + (static_cast<Addr>(z0) * grid_ny * grid_nx +
+                             static_cast<Addr>(y0) * grid_nx + x0) *
+                                kWordBytes;
+  j.mem_addr = mem_addr;
+  j.row_bytes = nx * kWordBytes;
+  j.rows = ny;
+  j.tcdm_row_stride = static_cast<i32>(grid_nx * kWordBytes);
+  j.mem_row_stride = j.row_bytes;
+  j.planes = nz;
+  j.tcdm_plane_stride = static_cast<i32>(grid_nx * grid_ny * kWordBytes);
+  j.mem_plane_stride = static_cast<i64>(j.row_bytes) * ny;
+  return j;
+}
+
 Dma::Dma(Tcdm& tcdm, MainMemory& mem)
     : tcdm_(tcdm), mem_(mem), jobs_(kDmaJobQueueDepth) {
   u32 lanes = kDmaWidthBytes / kWordBytes;

@@ -40,6 +40,17 @@ struct DmaJob {
   }
 };
 
+/// Build the strided job for a box-shaped region of a row-major grid tile:
+/// the TCDM side walks the tile at its natural pitch (grid_nx x grid_ny
+/// doubles per plane) starting at element (x0, y0, z0); the main-memory
+/// side is packed (rows and planes back-to-back at `mem_addr`). The region
+/// is nx x ny x nz elements. Both overlap-DMA shapes of the kernel runner —
+/// full halo'd tiles (origin 0, full extent) and interior-only transfers
+/// (origin at the halo radius) — are instances of this one geometry.
+DmaJob make_tile_dma_job(bool to_tcdm, Addr tcdm_base, u64 mem_addr,
+                         u32 grid_nx, u32 grid_ny, u32 x0, u32 y0, u32 z0,
+                         u32 nx, u32 ny, u32 nz);
+
 class Dma {
  public:
   Dma(Tcdm& tcdm, MainMemory& mem);

@@ -1,105 +1,59 @@
 #include "runtime/kernel_runner.hpp"
 
 #include <chrono>
+#include <memory>
 #include <utility>
 
-#include "codegen/base_codegen.hpp"
-#include "codegen/layout.hpp"
-#include "codegen/saris_codegen.hpp"
 #include "common/log.hpp"
+#include "runtime/plan_cache.hpp"
 #include "stencil/grid.hpp"
 #include "stencil/reference.hpp"
-#include "stencil/tiling.hpp"
 
 namespace saris {
 
-const char* variant_name(KernelVariant v) {
-  return v == KernelVariant::kBase ? "base" : "saris";
-}
-
-namespace {
-
-/// Enqueue one steady-state round of double-buffer DMA traffic: next tile
-/// in and previous result out — the same shapes (and thus the same burst
-/// geometry and bank interference) the real runtime would move. All jobs
-/// run as TCDM reads so they are non-destructive regardless of TCDM
-/// occupancy; a read and a write burst are timing-equivalent in the model.
-void push_overlap_jobs(Dma& dma, const StencilCode& sc,
-                       const KernelLayout& lay, u64 mem_base) {
-  u32 planes = sc.dims == 3 ? sc.tile_nz : 1;
-  // Input array 0 with halo.
-  DmaJob in;
-  in.to_tcdm = false;
-  in.tcdm_addr = lay.inputs[0];
-  in.mem_addr = mem_base;
-  in.row_bytes = sc.tile_nx * kWordBytes;
-  in.rows = sc.tile_ny;
-  in.tcdm_row_stride = static_cast<i32>(in.row_bytes);
-  in.mem_row_stride = in.row_bytes;
-  in.planes = planes;
-  in.tcdm_plane_stride = static_cast<i32>(in.row_bytes * sc.tile_ny);
-  in.mem_plane_stride = in.row_bytes * sc.tile_ny;
-  dma.push(in);
-
-  // Further input / extra arrays and the output: interior-sized, strided in
-  // TCDM (halo skipped), contiguous in main memory.
-  u32 n_interior_jobs =
-      (sc.n_inputs - 1) + sc.n_extra_traffic_arrays + 1;  // +1 output
-  for (u32 j = 0; j < n_interior_jobs; ++j) {
-    bool is_out = (j == n_interior_jobs - 1);
-    DmaJob job;
-    job.to_tcdm = false;
-    job.row_bytes = sc.interior_nx() * kWordBytes;
-    job.rows = sc.interior_ny();
-    job.tcdm_row_stride = static_cast<i32>(sc.tile_nx * kWordBytes);
-    job.mem_row_stride = job.row_bytes;
-    job.planes = sc.interior_nz();
-    job.tcdm_plane_stride =
-        static_cast<i32>(sc.tile_nx * sc.tile_ny * kWordBytes);
-    job.mem_plane_stride = static_cast<i64>(job.row_bytes) * job.rows;
-    Addr interior_off =
-        (static_cast<Addr>(sc.dims == 3 ? sc.radius : 0) * sc.tile_nx *
-             sc.tile_ny +
-         static_cast<Addr>(sc.radius) * sc.tile_nx + sc.radius) *
-        kWordBytes;
-    job.tcdm_addr = (is_out ? lay.output : lay.inputs[0]) + interior_off;
-    job.mem_addr = mem_base + (1 + j) * lay.tile_bytes;
-    dma.push(job);
-  }
-}
-
-}  // namespace
-
-RunMetrics run_kernel_io(const StencilCode& sc, const RunConfig& cfg,
-                         KernelIO& io) {
+RunMetrics execute_kernel(const CompiledKernel& ck, Cluster& cluster,
+                          const RunConfig& cfg, KernelIO& io,
+                          const Grid<>* golden_ext) {
+  const StencilCode& sc = ck.code;
   SARIS_CHECK(io.inputs.size() == sc.n_inputs,
               sc.name << ": expected " << sc.n_inputs << " input arrays");
   SARIS_CHECK(io.coeffs.size() == sc.n_coeffs,
               sc.name << ": expected " << sc.n_coeffs << " coefficients");
-  std::vector<Grid<>>& inputs = io.inputs;
-  std::vector<double>& coeffs = io.coeffs;
-  Grid<> golden(sc.tile_nx, sc.tile_ny, sc.tile_nz);
-  golden.fill(0.0);
-  reference_step(sc, inputs, coeffs, golden);
-
-  // ---- codegen + layout ----
-  Cluster cluster(cfg.cluster);
   u32 n = cluster.num_cores();
+  SARIS_CHECK(n == ck.n_cores, sc.name << ": cluster has " << n
+                                       << " cores but the artifact was "
+                                          "compiled for "
+                                       << ck.n_cores);
+  SARIS_CHECK(cluster.tcdm().size_bytes() == ck.tcdm_bytes,
+              sc.name << ": cluster TCDM is " << cluster.tcdm().size_bytes()
+                      << " B but the artifact was compiled for "
+                      << ck.tcdm_bytes << " B");
+  SARIS_CHECK(cfg.variant == ck.variant,
+              sc.name << ": config asks for " << variant_name(cfg.variant)
+                      << " but the artifact was compiled as "
+                      << variant_name(ck.variant)
+                      << " — recompile instead of reusing it");
+  SARIS_CHECK(cfg.cg == ck.options,
+              sc.name << "/" << variant_name(ck.variant)
+                      << ": CodegenOptions differ from the ones the "
+                         "artifact was compiled with — recompile instead "
+                         "of reusing it");
+  std::vector<Grid<>>& inputs = io.inputs;
 
-  std::unique_ptr<SarisCodegen> scg;
-  std::unique_ptr<BaseCodegen> bcg;
-  std::vector<std::array<u32, 2>> idx_counts(n, {0, 0});
-  if (cfg.variant == KernelVariant::kSaris) {
-    scg = std::make_unique<SarisCodegen>(sc, cfg.cg);
-    idx_counts = scg->idx_counts(n);
-  } else {
-    bcg = std::make_unique<BaseCodegen>(sc, cfg.cg);
+  // The reference is pure host-side data: compute it only when this run
+  // will verify and the caller did not hand one in (memoized or stepped).
+  std::unique_ptr<Grid<>> golden_own;
+  const Grid<>* golden = golden_ext;
+  if (cfg.verify && golden == nullptr) {
+    golden_own = std::make_unique<Grid<>>(sc.tile_nx, sc.tile_ny, sc.tile_nz);
+    golden_own->fill(0.0);
+    reference_step(sc, inputs, io.coeffs, *golden_own);
+    golden = golden_own.get();
   }
-  KernelLayout lay =
-      make_layout(sc, n, idx_counts, cluster.tcdm().size_bytes());
 
   // ---- stage tile data (prologue transfers are not part of the measured
   // compute window; the steady-state overlapped DMA below is) ----
+  const KernelLayout& lay = ck.layout;
   Tcdm& tcdm = cluster.tcdm();
   for (u32 i = 0; i < sc.n_inputs; ++i) {
     tcdm.host_write(lay.inputs[i], inputs[i].data(),
@@ -111,23 +65,21 @@ RunMetrics run_kernel_io(const StencilCode& sc, const RunConfig& cfg,
     tcdm.host_write(lay.output, zero.data(), static_cast<u32>(zero.bytes()));
   }
   for (u32 c = 0; c < n; ++c) {
-    tcdm.host_write(lay.coeffs_for(c), coeffs.data(),
-                    static_cast<u32>(coeffs.size() * sizeof(double)));
+    tcdm.host_write(lay.coeffs_for(c), io.coeffs.data(),
+                    static_cast<u32>(io.coeffs.size() * sizeof(double)));
   }
-  if (scg) {
-    for (u32 c = 0; c < n; ++c) {
-      auto vals = scg->idx_values(c);
-      for (u32 l = 0; l < 2; ++l) {
-        if (vals[l].empty()) continue;
-        tcdm.host_write(lay.core_idx[c][l].addr, vals[l].data(),
-                        static_cast<u32>(vals[l].size() * sizeof(u16)));
-      }
+  for (u32 c = 0; c < static_cast<u32>(ck.idx_values.size()); ++c) {
+    for (u32 l = 0; l < 2; ++l) {
+      const std::vector<u16>& vals = ck.idx_values[c][l];
+      if (vals.empty()) continue;
+      tcdm.host_write(lay.core_idx[c][l].addr, vals.data(),
+                      static_cast<u32>(vals.size() * sizeof(u16)));
     }
   }
 
   // ---- load programs ----
   for (u32 c = 0; c < n; ++c) {
-    cluster.core(c).load_program(scg ? scg->emit(c, lay) : bcg->emit(c, lay));
+    cluster.core(c).load_program(ck.programs[c]);
   }
 
   // ---- run with overlapped steady-state DMA ----
@@ -137,7 +89,7 @@ RunMetrics run_kernel_io(const StencilCode& sc, const RunConfig& cfg,
   // feed the scale-out model.
   Cycle t0 = cluster.now();
   if (cfg.overlap_dma) {
-    push_overlap_jobs(cluster.dma(), sc, lay, /*mem_base=*/0);
+    for (const DmaJob& job : ck.overlap_jobs) cluster.dma().push(job);
   }
   std::vector<u32> timeline;
   std::vector<u64> last_useful(n, 0);
@@ -145,15 +97,25 @@ RunMetrics run_kernel_io(const StencilCode& sc, const RunConfig& cfg,
   while (!cluster.all_halted()) {
     cluster.step();
     if (cfg.record_timeline) {
+      // Only cores the cluster actually ticked can have issued an FPU op;
+      // halted/parked cores are skipped via the cluster's idle bookkeeping
+      // instead of a dense O(cores) scan every cycle. Bit-identical to the
+      // dense scan: a skipped core's fpu_useful_ops cannot have changed.
       u32 active = 0;
-      for (u32 c = 0; c < n; ++c) {
+      auto scan = [&](u32 c) {
         u64 now_useful = cluster.core(c).perf().fpu_useful_ops;
         if (now_useful > last_useful[c]) ++active;
         last_useful[c] = now_useful;
-      }
+      };
+      for (u32 c : cluster.active_core_ids()) scan(c);
+      for (u32 c : cluster.deactivated_last_step()) scan(c);
       timeline.push_back(active);
     }
-    SARIS_CHECK(cluster.now() - t0 < 100'000'000, "kernel did not halt");
+    SARIS_CHECK(cluster.now() - t0 < cfg.max_cycles,
+                sc.name << "/" << variant_name(ck.variant)
+                        << ": kernel did not halt within " << cfg.max_cycles
+                        << " cycles (" << (cluster.now() - t0)
+                        << " elapsed)");
   }
   Cycle window = cluster.now() - t0;
   // Stop the wall clock with the compute window: `window` is the matching
@@ -171,9 +133,9 @@ RunMetrics run_kernel_io(const StencilCode& sc, const RunConfig& cfg,
   tcdm.host_read(lay.output, out_sim.data(),
                  static_cast<u32>(out_sim.bytes()));
   if (cfg.verify) {
-    m.max_rel_err = max_rel_error(sc, out_sim, golden);
+    m.max_rel_err = max_rel_error(sc, out_sim, *golden);
     SARIS_CHECK(m.max_rel_err <= cfg.tolerance,
-                sc.name << "/" << variant_name(cfg.variant)
+                sc.name << "/" << variant_name(ck.variant)
                         << ": verification failed, max rel err "
                         << m.max_rel_err);
   }
@@ -213,9 +175,23 @@ RunMetrics run_kernel_io(const StencilCode& sc, const RunConfig& cfg,
   // FLOPs on every interior point.
   SARIS_CHECK(m.flops == static_cast<u64>(sc.flops_per_point()) *
                              sc.interior_points(),
-              sc.name << "/" << variant_name(cfg.variant)
+              sc.name << "/" << variant_name(ck.variant)
                       << ": FLOP count mismatch: " << m.flops);
   return m;
+}
+
+RunMetrics run_kernel_io(const StencilCode& sc, const RunConfig& cfg,
+                         KernelIO& io) {
+  SARIS_CHECK(io.inputs.size() == sc.n_inputs,
+              sc.name << ": expected " << sc.n_inputs << " input arrays");
+  SARIS_CHECK(io.coeffs.size() == sc.n_coeffs,
+              sc.name << ": expected " << sc.n_coeffs << " coefficients");
+  std::shared_ptr<const CompiledKernel> ck =
+      PlanCache::global().get_or_compile(sc, cfg.variant, cfg.cg,
+                                         cfg.cluster.num_cores,
+                                         cfg.cluster.tcdm_bytes);
+  Cluster cluster(cfg.cluster);
+  return execute_kernel(*ck, cluster, cfg, io);
 }
 
 RunMetrics run_kernel(const StencilCode& sc, const RunConfig& cfg) {
@@ -225,7 +201,14 @@ RunMetrics run_kernel(const StencilCode& sc, const RunConfig& cfg) {
     io.inputs.back().fill_random(cfg.seed + i);
   }
   io.coeffs = sc.default_coeffs();
-  return run_kernel_io(sc, cfg, io);
+  std::shared_ptr<const Grid<>> golden;
+  if (cfg.verify) golden = reference_for_seed(sc, cfg.seed, &io.inputs);
+  std::shared_ptr<const CompiledKernel> ck =
+      PlanCache::global().get_or_compile(sc, cfg.variant, cfg.cg,
+                                         cfg.cluster.num_cores,
+                                         cfg.cluster.tcdm_bytes);
+  Cluster cluster(cfg.cluster);
+  return execute_kernel(*ck, cluster, cfg, io, golden.get());
 }
 
 std::pair<RunMetrics, RunMetrics> run_both(const StencilCode& sc, u64 seed) {

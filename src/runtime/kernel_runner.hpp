@@ -1,20 +1,28 @@
-// Kernel runner: the host-side driver that stages a tile in TCDM, generates
-// and loads per-core programs for one variant, runs the cluster cycle loop
-// with steady-state DMA traffic overlapped (double-buffering interference),
-// and verifies the simulated output against the golden reference.
+// Kernel runner: the host-side driver of the two-stage run pipeline.
+//
+//   compile_kernel (runtime/compiled_kernel.hpp)  — pure lowering: codegen,
+//     layout, SSR index vectors, overlap-DMA templates; no cluster, no data.
+//   execute_kernel (below)                        — stateful execution:
+//     stage a tile in TCDM, load the per-core programs, run the cluster
+//     cycle loop with steady-state DMA overlapped, verify against the
+//     golden reference, extract metrics.
+//
+// run_kernel / run_kernel_io compose the two, fetching the compile artifact
+// through the process-wide PlanCache (runtime/plan_cache.hpp), so repeated
+// runs of one (code, variant, options, shape) cell — a sweep matrix, a
+// stepping example, a test suite — lower it once. Warm runs are
+// bit-identical to cold ones: the artifact is immutable and compilation is
+// deterministic.
 #pragma once
 
 #include "cluster/cluster.hpp"
 #include "codegen/options.hpp"
+#include "runtime/compiled_kernel.hpp"
 #include "runtime/metrics.hpp"
 #include "stencil/grid.hpp"
 #include "stencil/stencil_def.hpp"
 
 namespace saris {
-
-enum class KernelVariant { kBase, kSaris };
-
-const char* variant_name(KernelVariant v);
 
 struct RunConfig {
   KernelVariant variant = KernelVariant::kSaris;
@@ -24,6 +32,11 @@ struct RunConfig {
   bool verify = true;
   bool record_timeline = false;  ///< fill RunMetrics::fpu_timeline
   u64 seed = 1;
+  /// Hang guard: abort (with the code, variant, and elapsed cycle count in
+  /// the message) if the kernel has not halted after this many cycles — a
+  /// deadlocked stream or missing halt is a programming error. Raise it for
+  /// experiments that legitimately run longer than the default.
+  Cycle max_cycles = 100'000'000;
   /// Max relative error accepted vs the golden reference. Covers
   /// reassociation rounding, which is data-dependent: cancellation in the
   /// reordered sums of the widest (3-D, 27-point) codes reaches a few
@@ -40,14 +53,28 @@ struct KernelIO {
   std::vector<Grid<double>> outputs;  ///< filled by the run (one grid)
 };
 
+/// Execute stage: stage `io` into `cluster`, load the artifact's programs,
+/// run the cycle loop with overlapped steady-state DMA, verify, and extract
+/// metrics. `cluster` must be freshly constructed (performance counters at
+/// zero) and shaped like the artifact (same core count and TCDM size);
+/// multi-step callers construct a cheap new cluster per step and reuse one
+/// CompiledKernel. When `golden` is non-null it is used as the reference
+/// for verification instead of recomputing it from `io` (see
+/// reference_for_seed for the memoized seeded-random path).
+RunMetrics execute_kernel(const CompiledKernel& ck, Cluster& cluster,
+                          const RunConfig& cfg, KernelIO& io,
+                          const Grid<>* golden = nullptr);
+
 /// Run one time iteration of `sc` over caller-provided data (examples use
 /// this to step simulations); verification is against the golden reference
-/// computed from the same data.
+/// computed from the same data. Compiles through the global PlanCache.
 RunMetrics run_kernel_io(const StencilCode& sc, const RunConfig& cfg,
                          KernelIO& io);
 
 /// Run one time iteration of `sc` on a fresh cluster with seeded
 /// pseudo-random data; aborts on verification failure beyond the tolerance.
+/// Compiles through the global PlanCache and reuses the memoized golden
+/// reference for (sc, cfg.seed).
 RunMetrics run_kernel(const StencilCode& sc, const RunConfig& cfg);
 
 /// Convenience: run both variants and return {base, saris}.

@@ -1,0 +1,88 @@
+#include "runtime/plan_cache.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+namespace saris {
+
+std::shared_ptr<const CompiledKernel> PlanCache::get_or_compile(
+    const StencilCode& sc, KernelVariant variant, const CodegenOptions& cg,
+    u32 n_cores, u32 tcdm_bytes) {
+  Key key{code_signature(sc), variant, cg, n_cores, tcdm_bytes};
+  Entry fut;
+  std::promise<std::shared_ptr<const CompiledKernel>> prom;
+  bool compile_here = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      ++stats_.hits;
+      fut = it->second;
+    } else {
+      ++stats_.misses;
+      fut = prom.get_future().share();
+      map_.emplace(key, fut);
+      compile_here = true;
+    }
+  }
+  if (compile_here) {
+    // Compile outside the lock so independent cells compile concurrently;
+    // racers on *this* cell wait on the future instead of recompiling.
+    auto t0 = std::chrono::steady_clock::now();
+    std::shared_ptr<const CompiledKernel> ck;
+    try {
+      ck = std::make_shared<const CompiledKernel>(
+          compile_kernel(sc, variant, cg, n_cores, tcdm_bytes));
+    } catch (...) {
+      // Don't poison the cell: current waiters see the failure through the
+      // future, but the entry is dropped so a later call retries the
+      // compile instead of rethrowing a broken promise forever.
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        map_.erase(key);
+      }
+      prom.set_exception(std::current_exception());
+      throw;
+    }
+    prom.set_value(std::move(ck));
+    double dt = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_.compile_seconds += dt;
+  }
+  return fut.get();
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return map_.size();
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  map_.clear();
+  stats_ = Stats{};
+}
+
+std::string PlanCache::summary() const {
+  Stats s = stats();
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "plan cache: %llu compiles (%.3f s), %llu hits, %zu entries",
+                static_cast<unsigned long long>(s.misses), s.compile_seconds,
+                static_cast<unsigned long long>(s.hits), size());
+  return buf;
+}
+
+PlanCache& PlanCache::global() {
+  static PlanCache cache;
+  return cache;
+}
+
+}  // namespace saris

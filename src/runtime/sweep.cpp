@@ -57,7 +57,7 @@ std::vector<RunMetrics> run_sweep(const std::vector<SweepJob>& jobs,
   return results;
 }
 
-std::vector<MatrixRun> run_matrix(u64 seed, u32 threads) {
+std::vector<SweepJob> matrix_jobs(u64 seed) {
   const std::vector<StencilCode>& codes = all_codes();
   std::vector<SweepJob> jobs;
   jobs.reserve(codes.size() * 2);
@@ -71,7 +71,12 @@ std::vector<MatrixRun> run_matrix(u64 seed, u32 threads) {
       jobs.push_back(std::move(j));
     }
   }
-  std::vector<RunMetrics> ms = run_sweep(jobs, threads);
+  return jobs;
+}
+
+std::vector<MatrixRun> run_matrix(u64 seed, u32 threads) {
+  const std::vector<StencilCode>& codes = all_codes();
+  std::vector<RunMetrics> ms = run_sweep(matrix_jobs(seed), threads);
   std::vector<MatrixRun> rows(codes.size());
   for (std::size_t c = 0; c < codes.size(); ++c) {
     rows[c].code = &codes[c];

@@ -6,6 +6,13 @@
 // sequential ones; the engine returns them in job order regardless of
 // completion order. All figure/table benches drive their runs through this
 // instead of hand-rolled loops.
+//
+// Workers share the process-wide PlanCache (runtime/plan_cache.hpp): every
+// job compiles through it, so a sweep that revisits a (code, variant,
+// options, shape) cell — repeated matrices, ablation grids, warm reruns —
+// lowers it exactly once, and the golden reference for each (code, seed)
+// pair is likewise memoized (stencil/reference.hpp). Cache hits are
+// bit-identical to cold compiles, so the determinism contract is unchanged.
 #pragma once
 
 #include <string>
@@ -40,6 +47,12 @@ struct MatrixRun {
   RunMetrics base;
   RunMetrics saris;
 };
+
+/// The standard job list behind run_matrix: both variants of every Table 1
+/// code, in Table 1 order (base before saris per code). Exposed so
+/// harnesses (the plan-cache tests, the wall-clock bench) can drive the
+/// exact same jobs through custom schedules.
+std::vector<SweepJob> matrix_jobs(u64 seed = 1);
 
 /// Run both variants of every Table 1 code — the sweep behind fig3a/3b/4/5,
 /// table 2, and the roofline — and return one row per code, in Table 1

@@ -95,4 +95,32 @@ std::vector<Tap> make_box_taps(u32 dims, u32 radius, bool with_coeffs) {
   return taps;
 }
 
+std::string code_signature(const StencilCode& sc) {
+  std::string s = std::to_string(sc.name.size());
+  s += ':';
+  s += sc.name;
+  auto num = [&s](i64 v) {
+    s += ':';
+    s += std::to_string(v);
+  };
+  num(sc.dims);
+  num(sc.radius);
+  num(static_cast<i64>(sc.sched));
+  num(sc.const_term ? 1 : 0);
+  num(sc.n_inputs);
+  num(sc.n_extra_traffic_arrays);
+  num(sc.n_coeffs);
+  num(sc.tile_nx);
+  num(sc.tile_ny);
+  num(sc.tile_nz);
+  for (const Tap& t : sc.taps) {
+    num(t.dx);
+    num(t.dy);
+    num(t.dz);
+    num(t.array);
+    num(static_cast<i64>(t.coeff));
+  }
+  return s;
+}
+
 }  // namespace saris

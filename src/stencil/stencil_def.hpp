@@ -79,4 +79,11 @@ struct StencilCode {
 std::vector<Tap> make_star_taps(u32 dims, u32 radius, bool with_coeffs);
 std::vector<Tap> make_box_taps(u32 dims, u32 radius, bool with_coeffs);
 
+/// Canonical, content-complete serialization of a code descriptor: equal
+/// signatures iff equal content (the name is length-prefixed so no field
+/// sequence can alias into it). The plan cache and the golden-reference
+/// memo key on this rather than on object identity, so two descriptor
+/// objects describing the same code share cached work.
+std::string code_signature(const StencilCode& sc);
+
 }  // namespace saris

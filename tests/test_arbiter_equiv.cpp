@@ -33,6 +33,10 @@ void expect_identical(const RunMetrics& fast, const RunMetrics& dense,
   EXPECT_EQ(fast.ssr_elems, dense.ssr_elems) << what;
   EXPECT_EQ(fast.ssr_idx_words, dense.ssr_idx_words) << what;
   EXPECT_EQ(fast.dma_bytes, dense.dma_bytes) << what;
+  // Per-cycle, not just aggregate: the event-driven timeline scan visits
+  // only ticked cores (active list + cores parked/retired that step), so
+  // equality with the dense all-cores scan proves the skip logic exact.
+  EXPECT_EQ(fast.fpu_timeline, dense.fpu_timeline) << what;
   ASSERT_EQ(fast.per_core.size(), dense.per_core.size()) << what;
   for (u32 c = 0; c < fast.num_cores(); ++c) {
     const CorePerf& a = fast.per_core[c];
@@ -68,6 +72,7 @@ RunMetrics run_mode(const StencilCode& sc, KernelVariant v,
   RunConfig cfg;
   cfg.variant = v;
   cfg.cluster.event_driven = event_driven;
+  cfg.record_timeline = true;
   return run_kernel(sc, cfg);
 }
 

@@ -1,0 +1,137 @@
+// Unit tests: plan cache — warm (cache-hit) runs bit-identical to cold runs
+// across the whole code x variant matrix, content keying (CodegenOptions
+// canonical hash/equality, machine shape, descriptor content rather than
+// identity), exactly-once compilation under concurrent misses, and cache
+// sharing across parallel sweep workers.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "runtime/plan_cache.hpp"
+#include "runtime/sweep.hpp"
+#include "stencil/codes.hpp"
+#include "stencil/reference.hpp"
+
+namespace saris {
+namespace {
+
+TEST(PlanCache, WarmRunsBitIdenticalToColdAcrossMatrix) {
+  PlanCache& pc = PlanCache::global();
+  pc.clear();
+  clear_reference_memo();
+  for (const StencilCode& sc : all_codes()) {
+    for (KernelVariant v : {KernelVariant::kBase, KernelVariant::kSaris}) {
+      RunConfig cfg;
+      cfg.variant = v;
+      PlanCache::Stats before = pc.stats();
+      RunMetrics cold = run_kernel(sc, cfg);
+      RunMetrics warm = run_kernel(sc, cfg);
+      PlanCache::Stats after = pc.stats();
+      EXPECT_EQ(after.misses - before.misses, 1u)
+          << sc.name << "/" << variant_name(v) << ": cold run must compile";
+      EXPECT_EQ(after.hits - before.hits, 1u)
+          << sc.name << "/" << variant_name(v) << ": warm run must hit";
+      std::string why;
+      EXPECT_TRUE(metrics_bit_identical(cold, warm, &why))
+          << sc.name << "/" << variant_name(v) << ": " << why;
+    }
+  }
+}
+
+TEST(PlanCache, KeysDistinguishOptionsVariantAndShape) {
+  PlanCache pc;  // local instance: state independent of the global cache
+  const StencilCode& sc = code_by_name("j2d5pt");
+
+  auto a = pc.get_or_compile(sc, KernelVariant::kSaris, {}, 8);
+  CodegenOptions forced;
+  forced.unroll = 2;
+  auto b = pc.get_or_compile(sc, KernelVariant::kSaris, forced, 8);
+  EXPECT_NE(a, b);  // differing CodegenOptions are distinct cells
+  EXPECT_EQ(pc.size(), 2u);
+
+  auto c = pc.get_or_compile(sc, KernelVariant::kSaris, {}, 8);
+  EXPECT_EQ(a, c);  // same cell shares the artifact
+  EXPECT_EQ(pc.stats().hits, 1u);
+
+  auto d = pc.get_or_compile(sc, KernelVariant::kBase, {}, 8);
+  EXPECT_NE(a, d);
+  auto e = pc.get_or_compile(sc, KernelVariant::kSaris, {}, 4);
+  EXPECT_NE(a, e);  // core count is part of the key
+  EXPECT_EQ(pc.size(), 4u);
+
+  // Content keying: a copy of the descriptor (different object identity,
+  // equal content) resolves to the same entry.
+  StencilCode copy = sc;
+  auto f = pc.get_or_compile(copy, KernelVariant::kSaris, {}, 8);
+  EXPECT_EQ(a, f);
+
+  pc.clear();
+  EXPECT_EQ(pc.size(), 0u);
+  EXPECT_EQ(pc.stats().misses, 0u);
+}
+
+TEST(PlanCache, CodegenOptionsHashAndEqualityAreCanonical) {
+  CodegenOptions x, y;
+  EXPECT_TRUE(x == y);
+  EXPECT_EQ(x.hash(), y.hash());
+  y.use_frep = false;
+  EXPECT_FALSE(x == y);
+  EXPECT_NE(x.hash(), y.hash());
+  y = x;
+  y.stream_coeffs = 1;
+  EXPECT_FALSE(x == y);
+  EXPECT_NE(x.hash(), y.hash());
+}
+
+TEST(PlanCache, ConcurrentMissesCompileExactlyOnce) {
+  PlanCache pc;
+  const StencilCode& sc = code_by_name("star3d2r");
+  constexpr u32 kThreads = 8;
+  std::vector<std::shared_ptr<const CompiledKernel>> got(kThreads);
+  std::vector<std::thread> workers;
+  for (u32 i = 0; i < kThreads; ++i) {
+    workers.emplace_back([&pc, &sc, &got, i] {
+      got[i] = pc.get_or_compile(sc, KernelVariant::kSaris, {}, 8);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (u32 i = 0; i < kThreads; ++i) {
+    ASSERT_NE(got[i], nullptr);
+    EXPECT_EQ(got[i], got[0]);  // one shared artifact for all
+  }
+  PlanCache::Stats s = pc.stats();
+  EXPECT_EQ(s.misses, 1u);  // exactly one compile
+  EXPECT_EQ(s.hits, kThreads - 1);
+  EXPECT_EQ(pc.size(), 1u);
+}
+
+TEST(PlanCache, SweepWorkersShareTheGlobalCache) {
+  PlanCache::global().clear();
+  // Two copies of each (code, variant) job: the second copy of every cell
+  // must be served from the cache no matter which worker runs it, and its
+  // metrics must be bit-identical to the first copy's.
+  std::vector<SweepJob> jobs;
+  for (const char* name : {"jacobi_2d", "box2d1r"}) {
+    for (KernelVariant v : {KernelVariant::kBase, KernelVariant::kSaris}) {
+      SweepJob j;
+      j.code = &code_by_name(name);
+      j.cfg.variant = v;
+      j.label = std::string(name) + "/" + variant_name(v);
+      jobs.push_back(j);
+      jobs.push_back(j);
+    }
+  }
+  std::vector<RunMetrics> ms = run_sweep(jobs, /*threads=*/4);
+  PlanCache::Stats s = PlanCache::global().stats();
+  EXPECT_EQ(s.misses, 4u);  // one compile per distinct cell
+  EXPECT_EQ(s.hits, 4u);    // every duplicate hit the shared cache
+  for (std::size_t i = 0; i + 1 < ms.size(); i += 2) {
+    std::string why;
+    EXPECT_TRUE(metrics_bit_identical(ms[i], ms[i + 1], &why))
+        << jobs[i].label << ": " << why;
+  }
+}
+
+}  // namespace
+}  // namespace saris

@@ -123,6 +123,17 @@ TEST(Runtime, VariantNames) {
   EXPECT_STREQ(variant_name(KernelVariant::kSaris), "saris");
 }
 
+TEST(RuntimeDeath, ConfigurableHangGuardNamesVariantAndElapsed) {
+  // A healthy kernel trips a tiny max_cycles budget, and the diagnostic
+  // carries the code, variant, and elapsed cycle count.
+  const StencilCode& sc = code_by_name("jacobi_2d");
+  RunConfig cfg;
+  cfg.variant = KernelVariant::kSaris;
+  cfg.max_cycles = 64;
+  EXPECT_DEATH(run_kernel(sc, cfg),
+               "jacobi_2d/saris: kernel did not halt within 64 cycles");
+}
+
 TEST(RuntimeDeath, WrongInputCountAborts) {
   const StencilCode& sc = code_by_name("ac_iso_cd");  // needs 2 inputs
   KernelIO io;
