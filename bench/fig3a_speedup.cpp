@@ -30,6 +30,7 @@ int main() {
   std::printf("%s", t.str().c_str());
   std::printf("geomean speedup: %.2fx   (paper: 2.72x, range 2.36x-3.87x)\n",
               geomean(speedups));
-  std::printf("%s\n", PlanCache::global().summary().c_str());
+  std::printf("%s\n%s", PlanCache::global().summary().c_str(),
+              PlanCache::global().cell_summary().c_str());
   return 0;
 }

@@ -36,6 +36,7 @@ int main() {
       geomean(bu) * 100, geomean(bi), geomean(su) * 100, geomean(si));
   std::printf("paper:   base util 35%%, base IPC 0.89, saris util 81%%, "
               "saris IPC 1.11\n");
-  std::printf("%s\n", PlanCache::global().summary().c_str());
+  std::printf("%s\n%s", PlanCache::global().summary().c_str(),
+              PlanCache::global().cell_summary().c_str());
   return 0;
 }

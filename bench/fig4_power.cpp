@@ -44,6 +44,7 @@ int main() {
       max_of(gains));
   std::printf("paper:   base 227 mW, saris 390 mW, gain 1.58x "
               "(range 1.27x-2.17x)\n");
-  std::printf("%s\n", PlanCache::global().summary().c_str());
+  std::printf("%s\n%s", PlanCache::global().summary().c_str(),
+              PlanCache::global().cell_summary().c_str());
   return 0;
 }

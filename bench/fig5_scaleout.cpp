@@ -4,7 +4,27 @@
 // Paper: geomean FPU util 0.35 -> 0.64, geomean speedup 2.14x (memory-bound
 // geomean 1.78x, up to 2.25x), seven of ten codes memory-bound, peak
 // 406 GFLOP/s; CMTR labels 48%..94% on the memory-bound codes.
+//
+// --simulate G additionally runs every (code, variant) cell on a simulated
+// G-cluster System — G concurrent tile shards contending for HBM bandwidth
+// through the cycle-accurate HbmFrontend — and reports the simulated tile
+// latency next to the analytic estimate scaled to the same G-cluster
+// machine (same devices, same measured DMA derate). The delta column is the
+// gap the analytic fair-share assumption leaves. Emits BENCH_fig5_sim.json.
+// At G=1 the simulated run must be (and is checked to be) bit-identical to
+// the single-cluster run_kernel pipeline.
+//
+//   fig5_scaleout [--simulate G] [--parallel] [--threads N]
+//                 [--codes a,b,...] [--json PATH]
+// (--threads N implies --parallel; --parallel alone resolves the worker
+// count like the sweep engine: SARIS_SWEEP_THREADS, then hardware.)
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "common/stats.hpp"
 #include "report/csv.hpp"
@@ -13,9 +33,105 @@
 #include "runtime/sweep.hpp"
 #include "scaleout/manticore.hpp"
 #include "stencil/codes.hpp"
+#include "stencil/tiling.hpp"
+#include "system/system_runner.hpp"
 
-int main() {
+namespace {
+
+using namespace saris;
+
+/// Analytic per-tile latency for the same G-cluster machine the simulator
+/// builds: compute window stretched by measured imbalance, memory time at
+/// the G-way-shared device bandwidth derated by measured DMA utilization —
+/// the estimator's model, evaluated at the simulated machine's share.
+double analytic_tile_g(const StencilCode& sc, const RunMetrics& m,
+                       double dma_util, const HbmConfig& hbm, u32 g_count) {
+  double t_comp = static_cast<double>(m.cycles) * m.imbalance();
+  // Same machine as the HbmFrontend prices: one shared formula.
+  double share = hbm.bytes_per_cycle_for_clusters(g_count) / g_count;
+  double t_mem =
+      static_cast<double>(tile_traffic(sc).total()) / (share * dma_util);
+  return std::max(t_comp, t_mem);
+}
+
+/// Strict flag-value parsing (same spirit as the SARIS_SWEEP_THREADS
+/// validation): reject garbage, trailing junk, and overflow instead of
+/// atoi-truncating them into surprising cluster/thread counts.
+u32 parse_u32(const char* flag, const char* value, u32 min_value) {
+  char* end = nullptr;
+  errno = 0;
+  unsigned long v = std::strtoul(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE ||
+      v > 0xFFFFFFFFull || v < min_value) {
+    std::fprintf(stderr, "%s needs an integer >= %u, got \"%s\"\n", flag,
+                 min_value, value);
+    std::exit(2);
+  }
+  return static_cast<u32>(v);
+}
+
+struct SimRow {
+  std::string code;
+  const char* variant;
+  u32 clusters;
+  Cycle sim_tile;        ///< max over clusters: halt + DMA drain
+  Cycle sim_compute;     ///< max compute window
+  double analytic_tile;  ///< fair-share model at the same machine
+  double delta;          ///< (sim - analytic) / analytic
+  double hbm_util;
+  u64 hbm_denied;
+  double dma_util;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace saris;
+  u32 simulate = 0;
+  bool parallel = false;
+  u32 threads = 0;
+  const char* json_path = "BENCH_fig5_sim.json";
+  std::vector<std::string> only_codes;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--simulate") == 0 && i + 1 < argc) {
+      simulate = parse_u32("--simulate", argv[++i], 1);
+    } else if (std::strcmp(argv[i], "--parallel") == 0) {
+      parallel = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = parse_u32("--threads", argv[++i], 1);
+      parallel = true;  // an explicit worker count implies parallel ticking
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--codes") == 0 && i + 1 < argc) {
+      std::string csv_arg = argv[++i];
+      std::size_t pos = 0;
+      while (pos != std::string::npos) {
+        std::size_t comma = csv_arg.find(',', pos);
+        std::string name = csv_arg.substr(
+            pos, comma == std::string::npos ? comma : comma - pos);
+        if (!name.empty()) only_codes.push_back(name);
+        pos = comma == std::string::npos ? comma : comma + 1;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--simulate G] [--parallel] [--threads N] "
+                   "[--codes a,b,...] [--json PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  // Validate every requested name up front (code_by_name aborts on unknown
+  // codes — a typo must fail loudly, not silently shrink coverage).
+  for (const std::string& n : only_codes) code_by_name(n);
+  auto selected = [&](const StencilCode& sc) {
+    if (only_codes.empty()) return true;
+    for (const std::string& n : only_codes) {
+      if (n == sc.name) return true;
+    }
+    return false;
+  };
+
   std::printf("== Figure 5: Manticore-256s scale-out estimate ==\n");
   ManticoreConfig cfg;
   TextTable t({"code", "base util", "saris util", "speedup", "CMTR",
@@ -26,7 +142,21 @@ int main() {
   std::vector<double> bu, su, sp, sp_mem;
   double peak_frac = 0.0, peak_gflops = 0.0;
   u32 mem_bound = 0;
-  for (const MatrixRun& run : run_matrix()) {
+  // Filter the job list before running it: a --codes subset (e.g. the CI
+  // smoke) simulates only the selected cells instead of discarding most of
+  // a full matrix sweep.
+  std::vector<SweepJob> jobs;
+  for (SweepJob& j : matrix_jobs()) {
+    if (selected(*j.code)) jobs.push_back(std::move(j));
+  }
+  std::vector<RunMetrics> ms = run_sweep(jobs);
+  std::vector<MatrixRun> rows;
+  for (std::size_t i = 0; i + 1 < jobs.size(); i += 2) {
+    // matrix_jobs orders base before saris per code; the filter keeps that.
+    rows.push_back(MatrixRun{jobs[i].code, std::move(ms[i]),
+                             std::move(ms[i + 1])});
+  }
+  for (const MatrixRun& run : rows) {
     const StencilCode& sc = *run.code;
     ScaleoutResult r = estimate_scaleout(sc, run.base, run.saris, cfg);
     bu.push_back(r.base.fpu_util);
@@ -63,6 +193,116 @@ int main() {
               peak_gflops, peak_frac * 100, cfg.peak_gflops());
   std::printf("paper:   base util 35%%, saris util 64%%, speedup 2.14x, "
               "7 memory-bound (1.78x), peak 406 GFLOP/s (79%%)\n");
-  std::printf("%s\n", PlanCache::global().summary().c_str());
+
+  if (simulate > 0) {
+    std::printf(
+        "\n== Simulated %u-cluster system (HBM-arbitrated) vs analytic ==\n",
+        simulate);
+    TextTable st({"code", "variant", "sim t_tile", "analytic", "delta",
+                  "hbm util", "denied", "sim speedup", "analytic speedup"});
+    std::vector<SimRow> sim_rows;
+    std::vector<double> sim_sp, ana_sp;
+    for (const MatrixRun& run : rows) {
+      const StencilCode& sc = *run.code;
+      // One DMA derate per code, like the estimator (both variants share
+      // the burst geometry).
+      double dma_util =
+          std::max(0.05, 0.5 * (run.base.dma_util + run.saris.dma_util));
+      Cycle sim_tile[2] = {0, 0};
+      double ana_tile[2] = {0.0, 0.0};
+      const RunMetrics* solo[2] = {&run.base, &run.saris};
+      KernelVariant variants[2] = {KernelVariant::kBase,
+                                   KernelVariant::kSaris};
+      for (int v = 0; v < 2; ++v) {
+        SystemRunConfig sc_cfg;
+        sc_cfg.clusters = simulate;
+        sc_cfg.run.variant = variants[v];
+        sc_cfg.hbm = cfg.hbm;
+        sc_cfg.parallel = parallel;
+        sc_cfg.threads = threads;
+        SystemRunMetrics sm = run_system_kernel(sc, sc_cfg);
+        if (simulate == 1) {
+          // Acceptance self-check: a 1-cluster simulated run must be
+          // bit-identical to the single-cluster pipeline that produced the
+          // analytic inputs above.
+          std::string why;
+          SARIS_CHECK(
+              metrics_bit_identical(*solo[v], sm.per_cluster[0], &why),
+              sc.name << "/" << variant_name(variants[v])
+                      << ": simulated 1-cluster run diverged from "
+                         "run_kernel ("
+                      << why << ")");
+        }
+        sim_tile[v] = sm.cycles;
+        ana_tile[v] =
+            analytic_tile_g(sc, *solo[v], dma_util, cfg.hbm, simulate);
+        double delta =
+            (static_cast<double>(sm.cycles) - ana_tile[v]) / ana_tile[v];
+        sim_rows.push_back(SimRow{sc.name, variant_name(variants[v]),
+                                  simulate, sm.cycles, sm.compute_cycles,
+                                  ana_tile[v], delta, sm.hbm_utilization,
+                                  sm.hbm_denied_grants,
+                                  solo[v]->dma_util});
+        st.add_row({v == 0 ? sc.name : "", variant_name(variants[v]),
+                    std::to_string(sim_tile[v]),
+                    TextTable::fmt(ana_tile[v], 0),
+                    TextTable::pct(delta),
+                    TextTable::pct(sm.hbm_utilization),
+                    std::to_string(sm.hbm_denied_grants),
+                    v == 0 ? "" : TextTable::fmt(
+                        static_cast<double>(sim_tile[0]) / sim_tile[1], 2),
+                    v == 0 ? "" : TextTable::fmt(ana_tile[0] / ana_tile[1],
+                                                 2)});
+      }
+      sim_sp.push_back(static_cast<double>(sim_tile[0]) / sim_tile[1]);
+      ana_sp.push_back(ana_tile[0] / ana_tile[1]);
+    }
+    std::printf("%s", st.str().c_str());
+    std::printf(
+        "geomean saris speedup at %u clusters: simulated %.2fx vs analytic "
+        "%.2fx\n",
+        simulate, geomean(sim_sp), geomean(ana_sp));
+    if (simulate == 1) {
+      std::printf("1-cluster simulated runs bit-identical to run_kernel: "
+                  "all %zu cells OK\n",
+                  sim_rows.size());
+    }
+
+    std::FILE* f = std::fopen(json_path, "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path);
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"fig5_scaleout_sim\",\n"
+                 "  \"clusters\": %u,\n  \"parallel\": %s,\n"
+                 "  \"rows\": [\n",
+                 simulate, parallel ? "true" : "false");
+    for (std::size_t i = 0; i < sim_rows.size(); ++i) {
+      const SimRow& r = sim_rows[i];
+      std::fprintf(
+          f,
+          "    {\"code\": \"%s\", \"variant\": \"%s\", "
+          "\"sim_tile_cycles\": %llu, \"sim_compute_cycles\": %llu, "
+          "\"analytic_tile_cycles\": %.1f, \"delta\": %.4f, "
+          "\"hbm_utilization\": %.4f, \"hbm_denied_grants\": %llu, "
+          "\"dma_util\": %.4f}%s\n",
+          r.code.c_str(), r.variant,
+          static_cast<unsigned long long>(r.sim_tile),
+          static_cast<unsigned long long>(r.sim_compute), r.analytic_tile,
+          r.delta, r.hbm_util,
+          static_cast<unsigned long long>(r.hbm_denied), r.dma_util,
+          i + 1 < sim_rows.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ],\n  \"geomean_sim_speedup\": %.3f,\n"
+                 "  \"geomean_analytic_speedup\": %.3f\n}\n",
+                 geomean(sim_sp), geomean(ana_sp));
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  }
+
+  std::printf("%s\n%s", PlanCache::global().summary().c_str(),
+              PlanCache::global().cell_summary().c_str());
   return 0;
 }

@@ -67,6 +67,7 @@ int main() {
   for (u32 i = 0; i < n; ++i) {
     std::printf("  %2u: %s\n", i, disasm(head.at(i)).c_str());
   }
-  std::printf("%s\n", PlanCache::global().summary().c_str());
+  std::printf("%s\n%s", PlanCache::global().summary().c_str(),
+              PlanCache::global().cell_summary().c_str());
   return 0;
 }

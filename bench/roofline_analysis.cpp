@@ -43,6 +43,7 @@ int main() {
   std::printf("saris achieves a high fraction of each code's *roof*: the "
               "residual gaps are DMA burst efficiency (memory-bound codes) "
               "and FPU-utilization losses (compute-bound codes).\n");
-  std::printf("%s\n", PlanCache::global().summary().c_str());
+  std::printf("%s\n%s", PlanCache::global().summary().c_str(),
+              PlanCache::global().cell_summary().c_str());
   return 0;
 }

@@ -56,6 +56,7 @@ int main() {
   std::printf("simulated cross-check: all %zu codes execute their Table 1 "
               "FLOP counts in both variants\n",
               runs.size());
-  std::printf("%s\n", PlanCache::global().summary().c_str());
+  std::printf("%s\n%s", PlanCache::global().summary().c_str(),
+              PlanCache::global().cell_summary().c_str());
   return 0;
 }

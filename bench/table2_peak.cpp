@@ -65,6 +65,7 @@ int main() {
   std::printf("best code: %s at %.0f%% of peak (paper: 79%%, best GPU "
               "generator AN5D: 69%%)\n",
               best_code.c_str(), best * 100);
-  std::printf("%s\n", PlanCache::global().summary().c_str());
+  std::printf("%s\n%s", PlanCache::global().summary().c_str(),
+              PlanCache::global().cell_summary().c_str());
   return 0;
 }

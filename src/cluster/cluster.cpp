@@ -7,25 +7,46 @@ namespace saris {
 Cluster::Cluster(const ClusterConfig& cfg)
     : cfg_(cfg),
       tcdm_(cfg.tcdm_bytes, cfg.tcdm_banks),
-      mem_(cfg.main_mem_bytes),
+      owned_mem_(std::make_unique<MainMemory>(cfg.main_mem_bytes)),
+      owned_port_(std::make_unique<DirectMemoryPort>(*owned_mem_)),
       barrier_(cfg.num_cores) {
-  for (u32 i = 0; i < cfg.num_cores; ++i) {
+  init(*owned_port_);
+}
+
+Cluster::Cluster(const ClusterConfig& cfg, MemoryPort& mem_port,
+                 u32 cluster_id)
+    : cfg_(cfg),
+      id_(cluster_id),
+      tcdm_(cfg.tcdm_bytes, cfg.tcdm_banks),
+      barrier_(cfg.num_cores) {
+  init(mem_port);
+}
+
+void Cluster::init(MemoryPort& mem_port) {
+  for (u32 i = 0; i < cfg_.num_cores; ++i) {
     cores_.push_back(std::make_unique<Core>(i, tcdm_, barrier_));
-    cores_.back()->set_event_driven(cfg.event_driven);
+    cores_.back()->set_event_driven(cfg_.event_driven);
   }
-  dma_ = std::make_unique<Dma>(tcdm_, mem_);
-  tcdm_.set_dense_arbitration(!cfg.event_driven);
-  dma_->set_dense_scan(!cfg.event_driven);
-  state_.assign(cfg.num_cores, CoreState::kActive);
-  last_ticked_.assign(cfg.num_cores, 0);
-  halted_seen_.assign(cfg.num_cores, false);
-  active_ids_.reserve(cfg.num_cores);
-  for (u32 i = 0; i < cfg.num_cores; ++i) active_ids_.push_back(i);
+  dma_ = std::make_unique<Dma>(tcdm_, mem_port);
+  tcdm_.set_dense_arbitration(!cfg_.event_driven);
+  dma_->set_dense_scan(!cfg_.event_driven);
+  state_.assign(cfg_.num_cores, CoreState::kActive);
+  last_ticked_.assign(cfg_.num_cores, 0);
+  halted_seen_.assign(cfg_.num_cores, false);
+  active_ids_.reserve(cfg_.num_cores);
+  for (u32 i = 0; i < cfg_.num_cores; ++i) active_ids_.push_back(i);
 }
 
 Core& Cluster::core(u32 i) {
   SARIS_CHECK(i < cores_.size(), "bad core index " << i);
   return *cores_[i];
+}
+
+MainMemory& Cluster::mem() {
+  SARIS_CHECK(owned_mem_ != nullptr,
+              "cluster " << id_ << " uses an external (system-shared) main "
+                            "memory; it has no private one");
+  return *owned_mem_;
 }
 
 void Cluster::step_dense() {

@@ -17,6 +17,7 @@
 #include "core/core.hpp"
 #include "mem/dma.hpp"
 #include "mem/main_memory.hpp"
+#include "mem/mem_port.hpp"
 #include "mem/tcdm.hpp"
 
 namespace saris {
@@ -36,12 +37,26 @@ struct ClusterConfig {
 
 class Cluster {
  public:
+  /// Standalone cluster: owns its MainMemory (cfg.main_mem_bytes), DMA
+  /// issues through an unlimited direct port — the single-cluster default.
   explicit Cluster(const ClusterConfig& cfg = ClusterConfig{});
 
+  /// Scale-out cluster: no owned memory; the DMA issues through `mem_port`
+  /// — typically one HBM-frontend port of a multi-cluster System, whose
+  /// per-cycle word grants arbitrate the shared-memory bandwidth across
+  /// clusters. `cluster_id` identifies this cluster within the system
+  /// (grant order and sharding are keyed on it). cfg.main_mem_bytes is
+  /// ignored.
+  Cluster(const ClusterConfig& cfg, MemoryPort& mem_port, u32 cluster_id);
+
   u32 num_cores() const { return static_cast<u32>(cores_.size()); }
+  u32 cluster_id() const { return id_; }
+  bool owns_memory() const { return owned_mem_ != nullptr; }
   Core& core(u32 i);
   Tcdm& tcdm() { return tcdm_; }
-  MainMemory& mem() { return mem_; }
+  /// Owned-memory clusters only; a System-owned cluster has no private
+  /// main memory (aborts — ask the System for the shared one).
+  MainMemory& mem();
   Dma& dma() { return *dma_; }
   Barrier& barrier() { return barrier_; }
 
@@ -88,14 +103,17 @@ class Cluster {
     kRetired,  ///< halted and quiescent; never ticked again
   };
 
+  void init(MemoryPort& mem_port);
   void step_dense();
   void wake(u32 id);
   void reactivate(u32 id);
   void update_core_states();
 
   ClusterConfig cfg_;
+  u32 id_ = 0;
   Tcdm tcdm_;
-  MainMemory mem_;
+  std::unique_ptr<MainMemory> owned_mem_;  ///< standalone clusters only
+  std::unique_ptr<DirectMemoryPort> owned_port_;
   Barrier barrier_;
   std::vector<std::unique_ptr<Core>> cores_;
   std::unique_ptr<Dma> dma_;  ///< constructed after the cores so compute

@@ -51,8 +51,20 @@ DmaJob make_tile_dma_job(bool to_tcdm, Addr tcdm_base, u64 mem_addr,
   return j;
 }
 
-Dma::Dma(Tcdm& tcdm, MainMemory& mem)
+Dma::Dma(Tcdm& tcdm, MemoryPort& mem)
     : tcdm_(tcdm), mem_(mem), jobs_(kDmaJobQueueDepth) {
+  make_tcdm_ports();
+}
+
+Dma::Dma(Tcdm& tcdm, MainMemory& mem)
+    : tcdm_(tcdm),
+      owned_port_(std::make_unique<DirectMemoryPort>(mem)),
+      mem_(*owned_port_),
+      jobs_(kDmaJobQueueDepth) {
+  make_tcdm_ports();
+}
+
+void Dma::make_tcdm_ports() {
   u32 lanes = kDmaWidthBytes / kWordBytes;
   SARIS_CHECK(lanes < 32, "DMA datapath too wide for the u32 port bitmask");
   for (u32 i = 0; i < lanes; ++i) {
@@ -86,10 +98,11 @@ void Dma::push(const DmaJob& job) {
                   << " tcdm_size=" << tcdm_.size_bytes());
   Extent m = job_extent(job.mem_addr, job.mem_row_stride, job.mem_plane_stride,
                         job.rows, job.planes, job.row_bytes);
-  SARIS_CHECK(m.lo >= 0 && m.hi <= static_cast<__int128>(mem_.size_bytes()),
+  SARIS_CHECK(m.lo >= static_cast<__int128>(mem_.base_addr()) &&
+                  m.hi <= static_cast<__int128>(mem_.end_addr()),
               "DMA job main-memory extent out of range: "
-                  << SARIS_DMA_JOB_COORDS(job)
-                  << " mem_size=" << mem_.size_bytes());
+                  << SARIS_DMA_JOB_COORDS(job) << " mem_window=["
+                  << mem_.base_addr() << ", " << mem_.end_addr() << ")");
 #undef SARIS_DMA_JOB_COORDS
 
   jobs_.push(job);
@@ -113,25 +126,13 @@ bool Dma::advance_row_cursor() {
 
 void Dma::retire_responses() {
   // Only ports with a word in flight can have a response; visit exactly
-  // those (ascending port order, same as the dense scan).
-  if (dense_) {
-    for (u32 i = 0; i < ports_.size(); ++i) {
-      if (out_[i].in_flight && tcdm_.response_ready(ports_[i])) {
-        u64 data = tcdm_.take_response(ports_[i]);
-        if (!out_[i].to_tcdm) {
-          mem_.write(out_[i].mem_addr, &data, kWordBytes);
-        }
-        out_[i].in_flight = false;
-        busy_mask_ &= ~(1u << i);
-        SARIS_CHECK(words_outstanding_ > 0, "DMA outstanding underflow");
-        --words_outstanding_;
-      }
-    }
-    return;
-  }
-  for (u32 m = busy_mask_; m != 0; m &= m - 1) {
-    u32 i = static_cast<u32>(std::countr_zero(m));
-    if (!tcdm_.response_ready(ports_[i])) continue;
+  // those (ascending port order, same as the dense scan). A main-memory
+  // write additionally needs a word of memory bandwidth: if the port denies
+  // the grant, the TCDM response is simply left pending (the bank holds it
+  // and the datapath port stays busy) and retires on a later cycle.
+  auto try_retire = [&](u32 i) {
+    if (!tcdm_.response_ready(ports_[i])) return;
+    if (!out_[i].to_tcdm && !mem_.acquire_word()) return;
     u64 data = tcdm_.take_response(ports_[i]);
     if (!out_[i].to_tcdm) {
       mem_.write(out_[i].mem_addr, &data, kWordBytes);
@@ -140,6 +141,16 @@ void Dma::retire_responses() {
     busy_mask_ &= ~(1u << i);
     SARIS_CHECK(words_outstanding_ > 0, "DMA outstanding underflow");
     --words_outstanding_;
+  };
+
+  if (dense_) {
+    for (u32 i = 0; i < ports_.size(); ++i) {
+      if (out_[i].in_flight) try_retire(i);
+    }
+    return;
+  }
+  for (u32 m = busy_mask_; m != 0; m &= m - 1) {
+    try_retire(static_cast<u32>(std::countr_zero(m)));
   }
 }
 
@@ -155,6 +166,10 @@ void Dma::issue_words() {
       return false;
     }
     if (out_[i].in_flight || !tcdm_.port_idle(ports_[i])) return true;
+    // Reads from main memory draw a word of memory bandwidth at issue time
+    // (writes draw theirs at retire); once the port's grant budget for the
+    // cycle is gone, stop issuing entirely.
+    if (cur_.to_tcdm && !mem_.acquire_word()) return false;
 
     Addr taddr = cur_.tcdm_addr +
                  static_cast<i64>(cur_.tcdm_plane_stride) * cur_plane_ +

@@ -8,10 +8,12 @@
 // utilizations that feed the scale-out model.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "common/fixed_queue.hpp"
 #include "mem/main_memory.hpp"
+#include "mem/mem_port.hpp"
 #include "mem/tcdm.hpp"
 
 namespace saris {
@@ -53,6 +55,15 @@ DmaJob make_tile_dma_job(bool to_tcdm, Addr tcdm_base, u64 mem_addr,
 
 class Dma {
  public:
+  /// Issue main-memory traffic through `mem` — a DirectMemoryPort for the
+  /// single-cluster case, or an HBM-frontend port whose per-cycle word
+  /// grants model cross-cluster bandwidth contention. A word denied by the
+  /// port stalls that phase (issue for reads, retire for writes) until the
+  /// next cycle; with an always-granting port the engine is bit-identical
+  /// to the pre-abstraction direct-memory path.
+  Dma(Tcdm& tcdm, MemoryPort& mem);
+  /// Convenience for owned-memory clusters and unit tests: wraps `mem` in
+  /// an internal unlimited DirectMemoryPort.
   Dma(Tcdm& tcdm, MainMemory& mem);
 
   /// Enqueue a job (fails if the job queue is full — callers check `space`).
@@ -92,6 +103,7 @@ class Dma {
     u64 mem_addr = 0;  ///< main-memory address paired with this word
   };
 
+  void make_tcdm_ports();
   void retire_responses();
   void issue_words();
 
@@ -110,7 +122,8 @@ class Dma {
   bool advance_row_cursor();  ///< returns false when the job is complete
 
   Tcdm& tcdm_;
-  MainMemory& mem_;
+  std::unique_ptr<DirectMemoryPort> owned_port_;  ///< MainMemory-ctor only
+  MemoryPort& mem_;
   FixedQueue<DmaJob> jobs_;
   std::vector<u32> ports_;
   std::vector<Outstanding> out_;

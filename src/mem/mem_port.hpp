@@ -1,0 +1,60 @@
+// Abstract main-memory port: the interface the DMA engine issues its
+// main-memory word traffic through.
+//
+// A single-cluster simulation talks to its own MainMemory through a
+// DirectMemoryPort, which grants every word unconditionally and forwards the
+// access — bit-identical (and near-identical in cost) to the pre-abstraction
+// direct calls. A multi-cluster System hands each cluster an HBM-frontend
+// port instead (system/hbm_frontend.hpp): acquire_word() then draws from a
+// per-cycle bandwidth budget arbitrated round-robin across clusters, so
+// scale-out runs see real cross-cluster contention. The DMA never knows the
+// difference: a denied word simply retries next cycle.
+#pragma once
+
+#include "mem/main_memory.hpp"
+
+namespace saris {
+
+class MemoryPort {
+ public:
+  virtual ~MemoryPort() = default;
+
+  /// Claim one word (kWordBytes) of main-memory bandwidth for this cycle.
+  /// The DMA calls this immediately before each word-granular access — at
+  /// issue time for main-memory reads, at retire time for writes — and
+  /// stops the corresponding phase for the cycle when it returns false.
+  virtual bool acquire_word() = 0;
+
+  virtual void read(u64 addr, void* dst, u64 len) = 0;
+  virtual void write(u64 addr, const void* src, u64 len) = 0;
+
+  /// Addressable window [base_addr(), end_addr()): DmaJob extents are
+  /// validated against both bounds at push time, so a mis-addressed job
+  /// aborts with its coordinates instead of cycles later on a word access.
+  /// A direct port spans its whole memory (base 0, end = memory size); an
+  /// HBM-frontend port spans only its cluster's arena. end_addr is an
+  /// address, not a size — the window's byte count is end - base.
+  virtual u64 base_addr() const { return 0; }
+  virtual u64 end_addr() const = 0;
+};
+
+/// Unlimited pass-through port onto an owned MainMemory — the single-cluster
+/// default, and the baseline every arbitrated mode is checked against.
+class DirectMemoryPort final : public MemoryPort {
+ public:
+  explicit DirectMemoryPort(MainMemory& mem) : mem_(mem) {}
+
+  bool acquire_word() override { return true; }
+  void read(u64 addr, void* dst, u64 len) override {
+    mem_.read(addr, dst, len);
+  }
+  void write(u64 addr, const void* src, u64 len) override {
+    mem_.write(addr, src, len);
+  }
+  u64 end_addr() const override { return mem_.size_bytes(); }
+
+ private:
+  MainMemory& mem_;
+};
+
+}  // namespace saris

@@ -11,9 +11,8 @@
 
 namespace saris {
 
-RunMetrics execute_kernel(const CompiledKernel& ck, Cluster& cluster,
-                          const RunConfig& cfg, KernelIO& io,
-                          const Grid<>* golden_ext) {
+void check_artifact(const CompiledKernel& ck, Cluster& cluster,
+                    const RunConfig& cfg, const KernelIO& io) {
   const StencilCode& sc = ck.code;
   SARIS_CHECK(io.inputs.size() == sc.n_inputs,
               sc.name << ": expected " << sc.n_inputs << " input arrays");
@@ -38,26 +37,17 @@ RunMetrics execute_kernel(const CompiledKernel& ck, Cluster& cluster,
                       << ": CodegenOptions differ from the ones the "
                          "artifact was compiled with — recompile instead "
                          "of reusing it");
-  std::vector<Grid<>>& inputs = io.inputs;
+}
 
-  // The reference is pure host-side data: compute it only when this run
-  // will verify and the caller did not hand one in (memoized or stepped).
-  std::unique_ptr<Grid<>> golden_own;
-  const Grid<>* golden = golden_ext;
-  if (cfg.verify && golden == nullptr) {
-    golden_own = std::make_unique<Grid<>>(sc.tile_nx, sc.tile_ny, sc.tile_nz);
-    golden_own->fill(0.0);
-    reference_step(sc, inputs, io.coeffs, *golden_own);
-    golden = golden_own.get();
-  }
-
-  // ---- stage tile data (prologue transfers are not part of the measured
-  // compute window; the steady-state overlapped DMA below is) ----
+void stage_kernel(const CompiledKernel& ck, Cluster& cluster,
+                  const KernelIO& io) {
+  const StencilCode& sc = ck.code;
   const KernelLayout& lay = ck.layout;
+  const u32 n = cluster.num_cores();
   Tcdm& tcdm = cluster.tcdm();
   for (u32 i = 0; i < sc.n_inputs; ++i) {
-    tcdm.host_write(lay.inputs[i], inputs[i].data(),
-                    static_cast<u32>(inputs[i].bytes()));
+    tcdm.host_write(lay.inputs[i], io.inputs[i].data(),
+                    static_cast<u32>(io.inputs[i].bytes()));
   }
   {
     Grid<> zero(sc.tile_nx, sc.tile_ny, sc.tile_nz);
@@ -76,62 +66,49 @@ RunMetrics execute_kernel(const CompiledKernel& ck, Cluster& cluster,
                       static_cast<u32>(vals.size() * sizeof(u16)));
     }
   }
-
-  // ---- load programs ----
   for (u32 c = 0; c < n; ++c) {
     cluster.core(c).load_program(ck.programs[c]);
   }
+}
 
-  // ---- run with overlapped steady-state DMA ----
-  // Double buffering moves exactly one round of tile traffic (next input
-  // tile in, previous result out) per compute window, so that is what we
-  // overlap — its bank interference and measured bandwidth utilization
-  // feed the scale-out model.
-  Cycle t0 = cluster.now();
-  if (cfg.overlap_dma) {
-    for (const DmaJob& job : ck.overlap_jobs) cluster.dma().push(job);
-  }
-  std::vector<u32> timeline;
-  std::vector<u64> last_useful(n, 0);
-  auto wall0 = std::chrono::steady_clock::now();
-  while (!cluster.all_halted()) {
-    cluster.step();
-    if (cfg.record_timeline) {
-      // Only cores the cluster actually ticked can have issued an FPU op;
-      // halted/parked cores are skipped via the cluster's idle bookkeeping
-      // instead of a dense O(cores) scan every cycle. Bit-identical to the
-      // dense scan: a skipped core's fpu_useful_ops cannot have changed.
-      u32 active = 0;
-      auto scan = [&](u32 c) {
-        u64 now_useful = cluster.core(c).perf().fpu_useful_ops;
-        if (now_useful > last_useful[c]) ++active;
-        last_useful[c] = now_useful;
-      };
-      for (u32 c : cluster.active_core_ids()) scan(c);
-      for (u32 c : cluster.deactivated_last_step()) scan(c);
-      timeline.push_back(active);
-    }
-    SARIS_CHECK(cluster.now() - t0 < cfg.max_cycles,
-                sc.name << "/" << variant_name(ck.variant)
-                        << ": kernel did not halt within " << cfg.max_cycles
-                        << " cycles (" << (cluster.now() - t0)
-                        << " elapsed)");
-  }
-  Cycle window = cluster.now() - t0;
-  // Stop the wall clock with the compute window: `window` is the matching
-  // numerator for cycles-per-second, and the DMA drain tail below is not
-  // part of the measured loop.
-  double step_wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
-          .count();
-  cluster.run_until_dma_idle();
-  cluster.sync_idle_counters();
+u32 count_active_fpu(Cluster& cluster, std::vector<u64>& last_useful) {
+  // Only cores the cluster actually ticked can have issued an FPU op;
+  // halted/parked cores are skipped via the cluster's idle bookkeeping
+  // instead of a dense O(cores) scan every cycle. Bit-identical to the
+  // dense scan: a skipped core's fpu_useful_ops cannot have changed.
+  u32 active = 0;
+  auto scan = [&](u32 c) {
+    u64 now_useful = cluster.core(c).perf().fpu_useful_ops;
+    if (now_useful > last_useful[c]) ++active;
+    last_useful[c] = now_useful;
+  };
+  for (u32 c : cluster.active_core_ids()) scan(c);
+  for (u32 c : cluster.deactivated_last_step()) scan(c);
+  return active;
+}
 
-  // ---- read back the result, verify against the golden reference ----
+RunMetrics finish_kernel(const CompiledKernel& ck, Cluster& cluster,
+                         const RunConfig& cfg, KernelIO& io,
+                         const Grid<>* golden_ext, Cycle t0, Cycle window) {
+  const StencilCode& sc = ck.code;
+  const u32 n = cluster.num_cores();
+
+  // The reference is pure host-side data (io.inputs is untouched by the
+  // run): compute it only when this run verifies and the caller did not
+  // hand one in (memoized or stepped).
+  std::unique_ptr<Grid<>> golden_own;
+  const Grid<>* golden = golden_ext;
+  if (cfg.verify && golden == nullptr) {
+    golden_own = std::make_unique<Grid<>>(sc.tile_nx, sc.tile_ny, sc.tile_nz);
+    golden_own->fill(0.0);
+    reference_step(sc, io.inputs, io.coeffs, *golden_own);
+    golden = golden_own.get();
+  }
+
   RunMetrics m;
   Grid<> out_sim(sc.tile_nx, sc.tile_ny, sc.tile_nz);
-  tcdm.host_read(lay.output, out_sim.data(),
-                 static_cast<u32>(out_sim.bytes()));
+  cluster.tcdm().host_read(ck.layout.output, out_sim.data(),
+                           static_cast<u32>(out_sim.bytes()));
   if (cfg.verify) {
     m.max_rel_err = max_rel_error(sc, out_sim, *golden);
     SARIS_CHECK(m.max_rel_err <= cfg.tolerance,
@@ -141,9 +118,7 @@ RunMetrics execute_kernel(const CompiledKernel& ck, Cluster& cluster,
   }
   io.outputs.clear();
   io.outputs.push_back(std::move(out_sim));
-  m.fpu_timeline = std::move(timeline);
 
-  // ---- metrics ----
   m.cycles = window;
   for (u32 c = 0; c < n; ++c) {
     Core& core = cluster.core(c);
@@ -161,6 +136,7 @@ RunMetrics execute_kernel(const CompiledKernel& ck, Cluster& cluster,
     m.icache_misses += core.icache().misses();
     m.icache_hits += core.icache().hits();
   }
+  Tcdm& tcdm = cluster.tcdm();
   m.tcdm_accesses = tcdm.total_accesses();
   m.tcdm_conflicts = tcdm.total_conflicts();
   for (u32 p = 0; p < tcdm.num_ports(); ++p) {
@@ -169,7 +145,6 @@ RunMetrics execute_kernel(const CompiledKernel& ck, Cluster& cluster,
   }
   m.dma_util = cluster.dma().bandwidth_utilization();
   m.dma_bytes = cluster.dma().bytes_moved();
-  m.step_wall_seconds = step_wall;
 
   // Paper Table 1 invariant: the kernel performs exactly flops-per-point
   // FLOPs on every interior point.
@@ -177,6 +152,57 @@ RunMetrics execute_kernel(const CompiledKernel& ck, Cluster& cluster,
                              sc.interior_points(),
               sc.name << "/" << variant_name(ck.variant)
                       << ": FLOP count mismatch: " << m.flops);
+  return m;
+}
+
+RunMetrics execute_kernel(const CompiledKernel& ck, Cluster& cluster,
+                          const RunConfig& cfg, KernelIO& io,
+                          const Grid<>* golden_ext) {
+  const StencilCode& sc = ck.code;
+  check_artifact(ck, cluster, cfg, io);
+  const u32 n = cluster.num_cores();
+
+  // ---- stage tile data and programs (prologue transfers are not part of
+  // the measured compute window; the steady-state overlapped DMA below is)
+  stage_kernel(ck, cluster, io);
+
+  // ---- run with overlapped steady-state DMA ----
+  // Double buffering moves exactly one round of tile traffic (next input
+  // tile in, previous result out) per compute window, so that is what we
+  // overlap — its bank interference and measured bandwidth utilization
+  // feed the scale-out model.
+  Cycle t0 = cluster.now();
+  if (cfg.overlap_dma) {
+    for (const DmaJob& job : ck.overlap_jobs) cluster.dma().push(job);
+  }
+  std::vector<u32> timeline;
+  std::vector<u64> last_useful(n, 0);
+  auto wall0 = std::chrono::steady_clock::now();
+  while (!cluster.all_halted()) {
+    cluster.step();
+    if (cfg.record_timeline) {
+      timeline.push_back(count_active_fpu(cluster, last_useful));
+    }
+    SARIS_CHECK(cluster.now() - t0 < cfg.max_cycles,
+                sc.name << "/" << variant_name(ck.variant)
+                        << ": kernel did not halt within " << cfg.max_cycles
+                        << " cycles (" << (cluster.now() - t0)
+                        << " elapsed)");
+  }
+  Cycle window = cluster.now() - t0;
+  // Stop the wall clock with the compute window: `window` is the matching
+  // numerator for cycles-per-second, and the DMA drain tail below is not
+  // part of the measured loop.
+  double step_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+  cluster.run_until_dma_idle();
+  cluster.sync_idle_counters();
+
+  // ---- read back the result, verify, extract metrics ----
+  RunMetrics m = finish_kernel(ck, cluster, cfg, io, golden_ext, t0, window);
+  m.fpu_timeline = std::move(timeline);
+  m.step_wall_seconds = step_wall;
   return m;
 }
 

@@ -65,6 +65,35 @@ RunMetrics execute_kernel(const CompiledKernel& ck, Cluster& cluster,
                           const RunConfig& cfg, KernelIO& io,
                           const Grid<>* golden = nullptr);
 
+// ---- pieces of the execute stage, shared with the multi-cluster System
+// ---- path (system/system_runner.hpp), which stages G clusters, drives one
+// ---- interleaved cycle loop, and then finishes each cluster separately.
+
+/// Abort unless `cluster` and `cfg` match the artifact (core count, TCDM
+/// size, variant, codegen options) and `io` has the code's input/coeff
+/// counts.
+void check_artifact(const CompiledKernel& ck, Cluster& cluster,
+                    const RunConfig& cfg, const KernelIO& io);
+
+/// Stage `io` into the cluster's TCDM (inputs, zeroed output, per-core
+/// coefficients and SSR index vectors) and load the per-core programs.
+void stage_kernel(const CompiledKernel& ck, Cluster& cluster,
+                  const KernelIO& io);
+
+/// One sample of the per-cycle FPU-activity timeline: the number of cores
+/// that issued a useful FPU op during the cluster's most recent step.
+/// `last_useful` carries per-core state across calls (size num_cores,
+/// zero-initialized).
+u32 count_active_fpu(Cluster& cluster, std::vector<u64>& last_useful);
+
+/// Finish a run on a halted, DMA-drained cluster: read back the output
+/// tile into io.outputs, verify against `golden` (computed from `io` when
+/// null and cfg.verify is set), and extract RunMetrics with `window` as the
+/// compute window. Call Cluster::sync_idle_counters first.
+RunMetrics finish_kernel(const CompiledKernel& ck, Cluster& cluster,
+                         const RunConfig& cfg, KernelIO& io,
+                         const Grid<>* golden, Cycle t0, Cycle window);
+
 /// Run one time iteration of `sc` over caller-provided data (examples use
 /// this to step simulations); verification is against the golden reference
 /// computed from the same data. Compiles through the global PlanCache.

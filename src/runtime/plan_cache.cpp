@@ -9,6 +9,7 @@ std::shared_ptr<const CompiledKernel> PlanCache::get_or_compile(
     const StencilCode& sc, KernelVariant variant, const CodegenOptions& cg,
     u32 n_cores, u32 tcdm_bytes) {
   Key key{code_signature(sc), variant, cg, n_cores, tcdm_bytes};
+  const std::string cell = sc.name + "/" + variant_name(variant);
   Entry fut;
   std::promise<std::shared_ptr<const CompiledKernel>> prom;
   bool compile_here = false;
@@ -17,9 +18,11 @@ std::shared_ptr<const CompiledKernel> PlanCache::get_or_compile(
     auto it = map_.find(key);
     if (it != map_.end()) {
       ++stats_.hits;
+      ++cells_[cell].hits;
       fut = it->second;
     } else {
       ++stats_.misses;
+      ++cells_[cell].misses;
       fut = prom.get_future().share();
       map_.emplace(key, fut);
       compile_here = true;
@@ -68,6 +71,26 @@ void PlanCache::clear() {
   std::lock_guard<std::mutex> lk(mu_);
   map_.clear();
   stats_ = Stats{};
+  cells_.clear();
+}
+
+std::map<std::string, PlanCache::CellStats> PlanCache::cell_stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return cells_;
+}
+
+std::string PlanCache::cell_summary() const {
+  std::string out;
+  for (const auto& [cell, s] : cell_stats()) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "  %s: %llu compile%s, %llu hit%s\n",
+                  cell.c_str(), static_cast<unsigned long long>(s.misses),
+                  s.misses == 1 ? "" : "s",
+                  static_cast<unsigned long long>(s.hits),
+                  s.hits == 1 ? "" : "s");
+    out += buf;
+  }
+  return out;
 }
 
 std::string PlanCache::summary() const {

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -40,12 +41,28 @@ class PlanCache {
   Stats stats() const;
   std::size_t size() const;
 
+  /// Per-(code, variant) hit/miss counts, keyed "name/variant" in name
+  /// order. Cells with different options or machine shape but the same
+  /// (code, variant) label fold into one entry — the label is about what a
+  /// bench footer can attribute, not about key identity.
+  struct CellStats {
+    u64 hits = 0;
+    u64 misses = 0;
+  };
+  std::map<std::string, CellStats> cell_stats() const;
+
   /// Drop all entries and zero the stats (cold-start hook for benches and
   /// tests; outstanding shared_ptrs stay valid).
   void clear();
 
   /// One-line human-readable footer for benches.
   std::string summary() const;
+
+  /// Per-cell footer lines ("  name/variant: N compiles, M hits\n" each):
+  /// makes a G-cluster system run — one compile, G executes — visible as
+  /// 1 compile + (G-1) hits on its cell instead of vanishing into the
+  /// process totals. Empty string when the cache has seen nothing.
+  std::string cell_summary() const;
 
   /// Process-wide instance used by run_kernel / run_kernel_io — and hence
   /// shared by all sweep workers.
@@ -75,6 +92,7 @@ class PlanCache {
   mutable std::mutex mu_;
   std::unordered_map<Key, Entry, KeyHash> map_;
   Stats stats_;
+  std::map<std::string, CellStats> cells_;  ///< keyed "name/variant"
 };
 
 }  // namespace saris

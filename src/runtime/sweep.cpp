@@ -1,7 +1,9 @@
 #include "runtime/sweep.hpp"
 
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
+#include <limits>
 #include <thread>
 #include <utility>
 
@@ -13,8 +15,23 @@ u32 sweep_thread_count(u32 requested, std::size_t num_jobs) {
   u32 n = requested;
   if (n == 0) {
     if (const char* env = std::getenv("SARIS_SWEEP_THREADS")) {
-      long v = std::strtol(env, nullptr, 10);
-      if (v > 0) n = static_cast<u32>(v);
+      // A set-but-broken value is a misconfiguration, not a preference:
+      // reject zero, trailing garbage, and overflow loudly instead of
+      // silently falling back to hardware concurrency (or worse, UB-ishly
+      // truncating) — the user asked for a specific worker count.
+      char* end = nullptr;
+      errno = 0;
+      long v = std::strtol(env, &end, 10);
+      SARIS_CHECK(end != env && *end == '\0',
+                  "SARIS_SWEEP_THREADS must be a positive integer, got \""
+                      << env << "\"");
+      SARIS_CHECK(errno != ERANGE &&
+                      v <= static_cast<long>(
+                               std::numeric_limits<u32>::max()),
+                  "SARIS_SWEEP_THREADS overflows: \"" << env << "\"");
+      SARIS_CHECK(v >= 1, "SARIS_SWEEP_THREADS must be >= 1, got \""
+                              << env << "\"");
+      n = static_cast<u32>(v);
     }
   }
   if (n == 0) n = std::thread::hardware_concurrency();

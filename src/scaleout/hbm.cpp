@@ -1,11 +1,29 @@
-// (header-only model; this TU pins the header into the library and holds a
-// compile-time sanity check of the paper's numbers)
 #include "scaleout/hbm.hpp"
 
+#include <cmath>
+
+#include "common/log.hpp"
+
 namespace saris {
+
 namespace {
 // 8 devices x 3.2 Gb/s/pin x 128 pins = 409.6 GB/s stack bandwidth,
 // 12.8 B/cycle per cluster at 1 GHz.
 static_assert(sizeof(HbmConfig) > 0);
 }  // namespace
+
+void validate(const HbmConfig& hbm) {
+  SARIS_CHECK(hbm.devices >= 1, "HbmConfig: devices must be >= 1");
+  SARIS_CHECK(hbm.pins_per_device >= 1,
+              "HbmConfig: pins_per_device must be >= 1");
+  SARIS_CHECK(hbm.clusters_per_device >= 1,
+              "HbmConfig: clusters_per_device must be >= 1");
+  SARIS_CHECK(std::isfinite(hbm.gbps_per_pin) && hbm.gbps_per_pin > 0.0,
+              "HbmConfig: gbps_per_pin must be positive (got "
+                  << hbm.gbps_per_pin << ")");
+  SARIS_CHECK(std::isfinite(hbm.freq_ghz) && hbm.freq_ghz > 0.0,
+              "HbmConfig: freq_ghz must be positive (got " << hbm.freq_ghz
+                                                           << ")");
+}
+
 }  // namespace saris

@@ -23,6 +23,27 @@ struct HbmConfig {
   double bytes_per_cycle_per_cluster() const {
     return device_gbps() / clusters_per_device / freq_ghz;
   }
+
+  /// Devices feeding a `clusters`-cluster machine: one per
+  /// clusters_per_device clusters, capped at the stack's device count. The
+  /// HBM frontend sizes its grant budget with this, and the analytic-vs-
+  /// simulated fig5 comparison must price the same machine — keep them on
+  /// this one formula.
+  u32 devices_for_clusters(u32 clusters) const {
+    u32 d = (clusters + clusters_per_device - 1) / clusters_per_device;
+    return d < devices ? d : devices;
+  }
+  /// Aggregate bandwidth of that machine, bytes per compute-clock cycle.
+  double bytes_per_cycle_for_clusters(u32 clusters) const {
+    return devices_for_clusters(clusters) * device_gbps() / freq_ghz;
+  }
 };
+
+/// Abort (with the offending field in the message) unless every HbmConfig
+/// field is positive and finite — a zero device count, pin rate, or clock
+/// would turn the bandwidth arithmetic above into divisions by zero or a
+/// zero peak. Every consumer (scale-out estimator, HBM frontend) validates
+/// up front instead of producing NaNs mid-estimate.
+void validate(const HbmConfig& hbm);
 
 }  // namespace saris

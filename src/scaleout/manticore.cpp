@@ -41,10 +41,20 @@ VariantScaleout variant_estimate(const StencilCode& sc, const RunMetrics& m,
 
 }  // namespace
 
+void validate(const ManticoreConfig& cfg) {
+  SARIS_CHECK(cfg.groups >= 1, "ManticoreConfig: groups must be >= 1");
+  SARIS_CHECK(cfg.clusters_per_group >= 1,
+              "ManticoreConfig: clusters_per_group must be >= 1");
+  SARIS_CHECK(cfg.cores_per_cluster >= 1,
+              "ManticoreConfig: cores_per_cluster must be >= 1");
+  validate(cfg.hbm);
+}
+
 ScaleoutResult estimate_scaleout(const StencilCode& sc,
                                  const RunMetrics& base,
                                  const RunMetrics& saris,
                                  const ManticoreConfig& cfg) {
+  validate(cfg);
   ScaleoutResult r;
   r.tiles = scaleout_tiles(sc);
   // The paper assumes "the mean DMA bandwidth utilization measured in our

@@ -49,6 +49,12 @@ struct ScaleoutResult {
   u64 tiles = 0;
 };
 
+/// Abort unless the machine shape is non-degenerate (all counts >= 1 and
+/// the embedded HbmConfig valid): the estimator divides by the
+/// freq_ghz-derived peak and the per-cluster bandwidth share, and a zeroed
+/// field would silently turn the whole figure into NaNs.
+void validate(const ManticoreConfig& cfg);
+
 ScaleoutResult estimate_scaleout(const StencilCode& sc,
                                  const RunMetrics& base,
                                  const RunMetrics& saris,

@@ -1,0 +1,126 @@
+#include "system/hbm_frontend.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hpp"
+#include "mem/dma.hpp"
+
+namespace saris {
+
+namespace {
+/// Per-port credit cap: one full DMA datapath round. Credits bank across
+/// cycles only up to this, so a port that goes quiet cannot hoard bandwidth
+/// and a hungry port can still burst a whole datapath width in one cycle.
+constexpr u32 kCreditCapBytes = kDmaWidthBytes;
+constexpr u64 kWordFp = static_cast<u64>(kWordBytes) << 16;
+}  // namespace
+
+HbmFrontend::HbmFrontend(MainMemory& mem, const HbmConfig& hbm, u32 num_ports,
+                         u64 arena_bytes, bool limited)
+    : mem_(mem), hbm_(hbm), limited_(limited) {
+  validate(hbm);
+  SARIS_CHECK(num_ports >= 1, "HBM frontend needs at least one port");
+  SARIS_CHECK(arena_bytes >= 1 &&
+                  mem.size_bytes() >= static_cast<u64>(num_ports) * arena_bytes,
+              "shared memory smaller than " << num_ports << " x "
+                                            << arena_bytes << " B arenas");
+  for (u32 g = 0; g < num_ports; ++g) {
+    ports_.emplace_back(
+        new Port(*this, static_cast<u64>(g) * arena_bytes, arena_bytes));
+  }
+  rate_fp_ = static_cast<u64>(std::llround(bytes_per_cycle() * 65536.0));
+  SARIS_CHECK(!limited_ || rate_fp_ >= 1,
+              "HBM bandwidth rounds to zero bytes/cycle");
+}
+
+double HbmFrontend::bytes_per_cycle() const {
+  return hbm_.bytes_per_cycle_for_clusters(num_ports());
+}
+
+HbmFrontend::Port& HbmFrontend::port(u32 g) {
+  SARIS_CHECK(g < ports_.size(), "bad HBM port index " << g);
+  return *ports_[g];
+}
+
+void HbmFrontend::begin_cycle() {
+  ++cycles_;
+  if (!limited_) return;
+
+  // Latch demand: a port wants bandwidth iff its cluster's DMA has work
+  // (job active, queued, or words in flight). Reading the DMAs here is safe
+  // — begin_cycle is the serial point between cycles.
+  for (auto& p : ports_) {
+    p->demand_ = p->client_ ? !p->client_->idle() : p->manual_demand_;
+  }
+
+  // Deal the cycle's budget in word quanta, one word per demanding port per
+  // round, starting at the rotating pointer. Ports at the credit cap stop
+  // receiving; whole words nobody can take are lost (a streaming link does
+  // not bank idle bandwidth), but the sub-word remainder carries so
+  // fractional rates (e.g. 6.4 words/cycle) average out exactly.
+  u64 budget = carry_fp_ + rate_fp_;
+  bool dealt = true;
+  while (budget >= kWordFp && dealt) {
+    dealt = false;
+    for (u32 k = 0; k < ports_.size() && budget >= kWordFp; ++k) {
+      Port& p = *ports_[(rr_ + k) % ports_.size()];
+      if (!p.demand_ || p.credit_bytes_ + kWordBytes > kCreditCapBytes) {
+        continue;
+      }
+      p.credit_bytes_ += kWordBytes;
+      budget -= kWordFp;
+      dealt = true;
+    }
+  }
+  rr_ = (rr_ + 1) % static_cast<u32>(ports_.size());
+  carry_fp_ = std::min(budget, kWordFp - 1);
+}
+
+bool HbmFrontend::Port::acquire_word() {
+  if (!owner_.limited_) return true;
+  if (credit_bytes_ >= kWordBytes) {
+    credit_bytes_ -= kWordBytes;
+    granted_bytes_ += kWordBytes;
+    return true;
+  }
+  ++denied_;
+  return false;
+}
+
+void HbmFrontend::Port::check_window(u64 addr, u64 len) const {
+  SARIS_CHECK(addr >= base_ && len <= span_ && addr - base_ <= span_ - len,
+              "access [" << addr << ", +" << len
+                         << ") outside this cluster's arena [" << base_
+                         << ", +" << span_ << ")");
+}
+
+void HbmFrontend::Port::read(u64 addr, void* dst, u64 len) {
+  check_window(addr, len);
+  owner_.mem_.read(addr, dst, len);
+}
+
+void HbmFrontend::Port::write(u64 addr, const void* src, u64 len) {
+  check_window(addr, len);
+  owner_.mem_.write(addr, src, len);
+}
+
+u64 HbmFrontend::granted_bytes() const {
+  u64 n = 0;
+  for (const auto& p : ports_) n += p->granted_bytes_;
+  return n;
+}
+
+u64 HbmFrontend::denied_grants() const {
+  u64 n = 0;
+  for (const auto& p : ports_) n += p->denied_;
+  return n;
+}
+
+double HbmFrontend::utilization() const {
+  if (!limited_ || cycles_ == 0) return 0.0;
+  return static_cast<double>(granted_bytes()) /
+         (bytes_per_cycle() * static_cast<double>(cycles_));
+}
+
+}  // namespace saris

@@ -1,0 +1,116 @@
+// Bandwidth-arbitrated frontend of the system-shared main memory.
+//
+// A multi-cluster System gives every cluster's DMA one HbmFrontend port
+// instead of a private MainMemory. Each simulated cycle the frontend turns
+// the HBM stack bandwidth (from HbmConfig: ceil(G / clusters_per_device)
+// devices feeding G clusters) into a word-grant budget and deals it out
+// round-robin across the ports with pending demand, one word per port per
+// round, rotating the starting port every cycle. A cluster whose DMA wants
+// more words than its grants stalls and retries — that is the cross-cluster
+// contention the analytic scale-out model approximates with a fair share.
+//
+// Determinism: credits are dealt at the cycle boundary (begin_cycle, a
+// serial point), each port's credits are consumed only by its own cluster's
+// DMA during the tick, and the deal order is fixed by cluster id and the
+// rotation counter — so parallel cluster ticking is bit-identical to serial.
+//
+// Ports carry an address window ([cluster_id * arena, +arena)): any word
+// access outside the owning cluster's arena aborts, which is what makes
+// concurrent cluster ticks race-free on the shared (chunk-lazy) memory.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mem/main_memory.hpp"
+#include "mem/mem_port.hpp"
+#include "scaleout/hbm.hpp"
+
+namespace saris {
+
+class Dma;
+
+class HbmFrontend {
+ public:
+  class Port final : public MemoryPort {
+   public:
+    bool acquire_word() override;
+    void read(u64 addr, void* dst, u64 len) override;
+    void write(u64 addr, const void* src, u64 len) override;
+    u64 base_addr() const override { return base_; }
+    u64 end_addr() const override { return base_ + span_; }
+
+    u64 window_base() const { return base_; }
+    u64 window_span() const { return span_; }
+
+    /// The DMA whose idleness signals this port's bandwidth demand; set by
+    /// the System once the cluster exists. Ports with no client use the
+    /// manual flag below (unit-test hook).
+    void set_client(const Dma* dma) { client_ = dma; }
+    void set_manual_demand(bool on) { manual_demand_ = on; }
+
+    // ---- statistics ----
+    u64 granted_bytes() const { return granted_bytes_; }
+    /// acquire_word() refusals: each one is a DMA word op pushed to a later
+    /// cycle — the direct measure of bandwidth backpressure on this cluster.
+    u64 denied_grants() const { return denied_; }
+
+   private:
+    friend class HbmFrontend;
+    Port(HbmFrontend& owner, u64 base, u64 span)
+        : owner_(owner), base_(base), span_(span) {}
+    void check_window(u64 addr, u64 len) const;
+
+    HbmFrontend& owner_;
+    u64 base_;
+    u64 span_;
+    const Dma* client_ = nullptr;
+    bool manual_demand_ = false;
+    bool demand_ = false;       ///< latched at begin_cycle
+    u32 credit_bytes_ = 0;      ///< spendable this cycle (plus banked cap)
+    u64 granted_bytes_ = 0;
+    u64 denied_ = 0;
+  };
+
+  /// `arena_bytes` is each port's private window of `mem` (port g covers
+  /// [g * arena_bytes, (g+1) * arena_bytes)); mem must be at least
+  /// num_ports * arena_bytes. `limited` = false turns every port into an
+  /// unconditional pass-through (used by 1-cluster systems to preserve the
+  /// run_kernel bit-identity contract).
+  HbmFrontend(MainMemory& mem, const HbmConfig& hbm, u32 num_ports,
+              u64 arena_bytes, bool limited);
+
+  Port& port(u32 g);
+  u32 num_ports() const { return static_cast<u32>(ports_.size()); }
+  bool limited() const { return limited_; }
+
+  /// Refresh per-port word credits for the coming cycle: round-robin deal
+  /// of the cycle's bandwidth budget across demanding ports. Must be called
+  /// exactly once per system cycle, before any cluster ticks, from a single
+  /// thread (the System's per-cycle barrier point).
+  void begin_cycle();
+
+  /// Aggregate HBM bandwidth in bytes per compute-clock cycle
+  /// (ceil(num_ports / clusters_per_device) devices' worth).
+  double bytes_per_cycle() const;
+
+  // ---- statistics ----
+  Cycle cycles() const { return cycles_; }
+  u64 granted_bytes() const;
+  u64 denied_grants() const;
+  /// Granted fraction of the bandwidth offered so far (0 when unlimited or
+  /// before the first cycle).
+  double utilization() const;
+
+ private:
+  MainMemory& mem_;
+  HbmConfig hbm_;
+  bool limited_;
+  std::vector<std::unique_ptr<Port>> ports_;
+  u64 rate_fp_ = 0;   ///< bytes/cycle in 16.16 fixed point
+  u64 carry_fp_ = 0;  ///< sub-word budget remainder carried across cycles
+  u32 rr_ = 0;        ///< rotating first-served port
+  Cycle cycles_ = 0;
+};
+
+}  // namespace saris

@@ -1,0 +1,124 @@
+#include "system/system.hpp"
+
+#include <atomic>
+#include <barrier>
+#include <thread>
+
+#include "common/log.hpp"
+
+namespace saris {
+
+System::System(const SystemConfig& cfg)
+    : cfg_(cfg),
+      mem_(static_cast<u64>(cfg.clusters) * cfg.arena_bytes) {
+  SARIS_CHECK(cfg.clusters >= 1, "a System needs at least one cluster");
+  SARIS_CHECK(cfg.arena_bytes >= 1 &&
+                  cfg.arena_bytes % MainMemory::kChunkBytes == 0,
+              "arena_bytes must be a positive multiple of the memory chunk "
+              "size ("
+                  << MainMemory::kChunkBytes << " B), got "
+                  << cfg.arena_bytes);
+  // G=1 forced pass-through: see SystemConfig::hbm_limit.
+  bool limited = cfg.hbm_limit && cfg.clusters > 1;
+  hbm_ = std::make_unique<HbmFrontend>(mem_, cfg.hbm, cfg.clusters,
+                                       cfg.arena_bytes, limited);
+  for (u32 g = 0; g < cfg.clusters; ++g) {
+    clusters_.push_back(
+        std::make_unique<Cluster>(cfg.cluster, hbm_->port(g), g));
+    hbm_->port(g).set_client(&clusters_.back()->dma());
+  }
+}
+
+Cluster& System::cluster(u32 g) {
+  SARIS_CHECK(g < clusters_.size(), "bad cluster index " << g);
+  return *clusters_[g];
+}
+
+void System::step() {
+  hbm_->begin_cycle();
+  for (auto& c : clusters_) c->step();
+  ++now_;
+}
+
+Cycle System::run_until(const std::function<bool(u32)>& done, u32 threads,
+                        Cycle max_cycles, const std::string& label,
+                        const std::function<void(u32)>& after_tick) {
+  const Cycle start = now_;
+  const u32 g_count = num_clusters();
+  std::vector<u8> finished(g_count, 0);
+
+  // Per-cluster cycle body, identical in the serial and parallel paths:
+  // re-evaluate done before the tick, tick only unfinished clusters.
+  auto eval_done = [&](u32 g) {
+    if (!finished[g] && done(g)) finished[g] = 1;
+  };
+  auto tick = [&](u32 g) {
+    if (finished[g]) return;
+    clusters_[g]->step();
+    if (after_tick) after_tick(g);
+  };
+
+  u32 n = threads == 0 ? 1 : threads;
+  if (n > g_count) n = g_count;
+
+  if (n <= 1) {
+    for (;;) {
+      u32 left = 0;
+      for (u32 g = 0; g < g_count; ++g) {
+        eval_done(g);
+        if (!finished[g]) ++left;
+      }
+      if (left == 0) break;
+      SARIS_CHECK(now_ - start < max_cycles,
+                  label << ": system did not finish within " << max_cycles
+                        << " cycles (" << (now_ - start) << " elapsed)");
+      hbm_->begin_cycle();
+      ++now_;
+      for (u32 g = 0; g < g_count; ++g) tick(g);
+    }
+    return now_ - start;
+  }
+
+  // Parallel ticking: worker t owns the fixed cluster set {g : g % n == t}.
+  // One barrier per cycle; its completion step (runs on exactly one thread,
+  // after every worker arrived and before any is released) is the serial
+  // point that checks termination and deals the HBM credits — so the grant
+  // schedule, and hence every simulated bit, matches the serial loop above.
+  std::atomic<u32> unfinished{g_count};
+  std::atomic<bool> stop{false};
+  auto on_cycle_boundary = [&]() noexcept {
+    if (unfinished.load(std::memory_order_relaxed) == 0) {
+      stop.store(true, std::memory_order_relaxed);
+      return;
+    }
+    SARIS_CHECK(now_ - start < max_cycles,
+                label << ": system did not finish within " << max_cycles
+                      << " cycles (" << (now_ - start) << " elapsed)");
+    hbm_->begin_cycle();
+    ++now_;
+  };
+  std::barrier sync(n, on_cycle_boundary);
+
+  auto worker = [&](u32 t) {
+    for (;;) {
+      for (u32 g = t; g < g_count; g += n) {
+        bool was = finished[g];
+        eval_done(g);
+        if (!was && finished[g]) {
+          unfinished.fetch_sub(1, std::memory_order_relaxed);
+        }
+      }
+      sync.arrive_and_wait();
+      if (stop.load(std::memory_order_relaxed)) return;
+      for (u32 g = t; g < g_count; g += n) tick(g);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(n - 1);
+  for (u32 t = 1; t < n; ++t) pool.emplace_back(worker, t);
+  worker(0);
+  for (std::thread& w : pool) w.join();
+  return now_ - start;
+}
+
+}  // namespace saris

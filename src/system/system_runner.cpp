@@ -1,0 +1,184 @@
+#include "system/system_runner.hpp"
+
+#include <chrono>
+#include <memory>
+
+#include "common/log.hpp"
+#include "runtime/plan_cache.hpp"
+#include "runtime/sweep.hpp"
+#include "stencil/reference.hpp"
+
+namespace saris {
+
+u64 system_cluster_seed(u64 seed, u32 g) {
+  // Distinct shards get well-separated seed streams (fill_random finalizes
+  // the seed through splitmix64, so any distinct u64s decorrelate); the
+  // stride keeps clear of run_kernel's seed+i per-input offsets. Cluster 0
+  // is the G=1 bit-identity anchor: exactly `seed`.
+  return seed + static_cast<u64>(g) * 0x100000001b3ull;
+}
+
+double SystemRunMetrics::fpu_util() const {
+  if (cycles == 0 || per_cluster.empty()) return 0.0;
+  u64 useful = 0;
+  u64 cores = 0;
+  for (const RunMetrics& m : per_cluster) {
+    useful += m.fpu_useful_ops;
+    cores += m.num_cores();
+  }
+  return static_cast<double>(useful) /
+         (static_cast<double>(cycles) * static_cast<double>(cores));
+}
+
+namespace {
+
+/// The artifact's overlap-DMA templates carry main-memory addresses
+/// relative to base 0; shift them into cluster g's arena.
+DmaJob offset_overlap_job(const DmaJob& tmpl, u64 arena_base) {
+  DmaJob j = tmpl;
+  j.mem_addr += arena_base;
+  return j;
+}
+
+}  // namespace
+
+SystemRunMetrics execute_system_kernel(const CompiledKernel& ck, System& sys,
+                                       const SystemRunConfig& cfg,
+                                       std::vector<KernelIO>& ios,
+                                       const std::vector<const Grid<>*>&
+                                           goldens) {
+  const StencilCode& sc = ck.code;
+  const u32 g_count = sys.num_clusters();
+  SARIS_CHECK(g_count == cfg.clusters,
+              sc.name << ": system has " << g_count
+                      << " clusters but the config asks for "
+                      << cfg.clusters);
+  SARIS_CHECK(ios.size() == g_count,
+              sc.name << ": need one KernelIO per cluster (" << ios.size()
+                      << " for " << g_count << ")");
+  SARIS_CHECK(goldens.empty() || goldens.size() == g_count,
+              sc.name << ": goldens must be empty or one per cluster");
+
+  // ---- stage every cluster and queue its arena-relative overlap DMA ----
+  for (u32 g = 0; g < g_count; ++g) {
+    Cluster& cl = sys.cluster(g);
+    check_artifact(ck, cl, cfg.run, ios[g]);
+    SARIS_CHECK(cl.now() == 0,
+                sc.name << ": system clusters must be freshly constructed");
+    stage_kernel(ck, cl, ios[g]);
+    if (cfg.run.overlap_dma) {
+      for (const DmaJob& tmpl : ck.overlap_jobs) {
+        cl.dma().push(offset_overlap_job(tmpl, sys.arena_base(g)));
+      }
+    }
+  }
+
+  // ---- interleaved cycle loop ----
+  // Per-cluster completion has two stages, mirroring execute_kernel's
+  // "run until halted, then drain the DMA": the compute window closes at a
+  // cluster's own last halt, and the cluster keeps ticking (DMA drain only)
+  // until its engine idles — that drain still contends for HBM bandwidth,
+  // which is exactly why it is part of the simulated tile latency.
+  std::vector<Cycle> window(g_count, 0);
+  std::vector<u8> halted(g_count, 0);
+  std::vector<Cycle> done_at(g_count, 0);
+  std::vector<std::vector<u32>> timelines(g_count);
+  std::vector<std::vector<u64>> last_useful(
+      g_count, std::vector<u64>(ck.n_cores, 0));
+
+  auto done = [&](u32 g) {
+    Cluster& cl = sys.cluster(g);
+    return cl.all_halted() && cl.dma().idle();
+  };
+  // Runs on the worker that owns g; touches only cluster-g state.
+  auto after_tick = [&](u32 g) {
+    Cluster& cl = sys.cluster(g);
+    if (!halted[g]) {
+      if (cfg.run.record_timeline) {
+        timelines[g].push_back(count_active_fpu(cl, last_useful[g]));
+      }
+      if (cl.all_halted()) {
+        halted[g] = 1;
+        window[g] = cl.now();
+      }
+    }
+    if (done_at[g] == 0 && cl.all_halted() && cl.dma().idle()) {
+      done_at[g] = cl.now();
+    }
+  };
+
+  u32 threads = 1;
+  if (cfg.parallel) {
+    threads = sweep_thread_count(cfg.threads, g_count);
+  }
+  const std::string label =
+      sc.name + std::string("/") + variant_name(ck.variant);
+  auto wall0 = std::chrono::steady_clock::now();
+  sys.run_until(done, threads, cfg.run.max_cycles, label, after_tick);
+  double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+
+  // ---- finish every cluster: verify, extract metrics, aggregate ----
+  SystemRunMetrics sm;
+  sm.step_wall_seconds = wall;
+  for (u32 g = 0; g < g_count; ++g) {
+    Cluster& cl = sys.cluster(g);
+    cl.sync_idle_counters();
+    const Grid<>* golden = goldens.empty() ? nullptr : goldens[g];
+    RunMetrics m = finish_kernel(ck, cl, cfg.run, ios[g], golden,
+                                 /*t0=*/0, window[g]);
+    m.fpu_timeline = std::move(timelines[g]);
+    m.step_wall_seconds = wall;
+    sm.flops += m.flops;
+    sm.dma_bytes += m.dma_bytes;
+    sm.compute_window.push_back(window[g]);
+    sm.tile_done.push_back(done_at[g]);
+    sm.cycles = std::max(sm.cycles, done_at[g]);
+    sm.compute_cycles = std::max(sm.compute_cycles, window[g]);
+    sm.per_cluster.push_back(std::move(m));
+  }
+  sm.hbm_bytes_per_cycle = sys.hbm().limited() ? sys.hbm().bytes_per_cycle()
+                                               : 0.0;
+  sm.hbm_utilization = sys.hbm().utilization();
+  sm.hbm_granted_bytes = sys.hbm().granted_bytes();
+  sm.hbm_denied_grants = sys.hbm().denied_grants();
+  return sm;
+}
+
+SystemRunMetrics run_system_kernel(const StencilCode& sc,
+                                   const SystemRunConfig& cfg) {
+  SARIS_CHECK(cfg.clusters >= 1, "system run needs at least one cluster");
+  SystemConfig scfg;
+  scfg.clusters = cfg.clusters;
+  scfg.cluster = cfg.run.cluster;
+  scfg.hbm = cfg.hbm;
+  scfg.hbm_limit = cfg.hbm_limit;
+  scfg.arena_bytes = cfg.arena_bytes;
+  System sys(scfg);
+
+  std::vector<KernelIO> ios(cfg.clusters);
+  std::vector<std::shared_ptr<const Grid<>>> golden_refs;
+  std::vector<const Grid<>*> goldens;
+  std::shared_ptr<const CompiledKernel> ck;
+  for (u32 g = 0; g < cfg.clusters; ++g) {
+    u64 seed = system_cluster_seed(cfg.run.seed, g);
+    for (u32 i = 0; i < sc.n_inputs; ++i) {
+      ios[g].inputs.emplace_back(sc.tile_nx, sc.tile_ny, sc.tile_nz);
+      ios[g].inputs.back().fill_random(seed + i);
+    }
+    ios[g].coeffs = sc.default_coeffs();
+    if (cfg.run.verify) {
+      golden_refs.push_back(reference_for_seed(sc, seed, &ios[g].inputs));
+      goldens.push_back(golden_refs.back().get());
+    }
+    // Fetched once per cluster on purpose: the per-cell plan-cache footer
+    // then shows the G-cluster run as 1 compile + (G-1) hits.
+    ck = PlanCache::global().get_or_compile(sc, cfg.run.variant, cfg.run.cg,
+                                            cfg.run.cluster.num_cores,
+                                            cfg.run.cluster.tcdm_bytes);
+  }
+  return execute_system_kernel(*ck, sys, cfg, ios, goldens);
+}
+
+}  // namespace saris

@@ -1,0 +1,95 @@
+// Multi-cluster run pipeline: the System-level counterpart of
+// runtime/kernel_runner.hpp.
+//
+// A system run shards the scale-out tile grid across G clusters: every
+// cluster executes the same CompiledKernel on its own tile (its own shard's
+// seeded data), all clusters tick in one interleaved cycle loop, and their
+// steady-state overlap-DMA traffic contends for the shared HBM bandwidth
+// through the HbmFrontend — so the per-tile latency it measures includes
+// real cross-cluster interference, not the analytic fair-share assumption.
+//
+// Contracts (tests/test_system.cpp):
+//  - clusters = 1 is bit-identical to the single-cluster run_kernel path
+//    (same seed, same artifact, same cycle-for-cycle schedule);
+//  - parallel = true (cluster ticking on worker threads) is bit-identical
+//    to serial ticking for any G.
+#pragma once
+
+#include <vector>
+
+#include "runtime/kernel_runner.hpp"
+#include "system/system.hpp"
+
+namespace saris {
+
+struct SystemRunConfig {
+  u32 clusters = 1;  ///< G: tile-grid shards running concurrently
+  /// Per-cluster run configuration (variant, codegen options, cluster
+  /// shape, seed, verification, hang guard). seed seeds cluster 0's shard;
+  /// cluster g uses system_cluster_seed(seed, g).
+  RunConfig run{};
+  HbmConfig hbm{};
+  /// Arbitrate shared-memory bandwidth (see SystemConfig::hbm_limit; forced
+  /// off at G=1 either way).
+  bool hbm_limit = true;
+  /// Tick clusters on a worker pool (per-cycle HBM barrier) instead of
+  /// serially. Results are bit-identical either way.
+  bool parallel = false;
+  /// Worker count when parallel (0 = SARIS_SWEEP_THREADS / hardware
+  /// concurrency, clamped to G).
+  u32 threads = 0;
+  u64 arena_bytes = 16ull << 20;  ///< per-cluster shared-memory window
+};
+
+struct SystemRunMetrics {
+  /// Full single-cluster metrics per cluster, in cluster-id order.
+  /// step_wall_seconds is the whole system loop's wall clock (clusters tick
+  /// interleaved, so per-cluster host time is not separable).
+  std::vector<RunMetrics> per_cluster;
+  /// Per-cluster compute window (cycles to that cluster's own halt; equals
+  /// per_cluster[g].cycles).
+  std::vector<Cycle> compute_window;
+  /// Per-cluster tile latency: cycles until the cluster both halted and
+  /// drained its DMA — the simulated analogue of the analytic t_tile.
+  std::vector<Cycle> tile_done;
+
+  Cycle cycles = 0;          ///< system window: max over tile_done
+  Cycle compute_cycles = 0;  ///< max over compute_window
+  u64 flops = 0;
+  u64 dma_bytes = 0;
+  double step_wall_seconds = 0.0;
+
+  // HBM frontend statistics (all zero when the frontend is pass-through).
+  double hbm_bytes_per_cycle = 0.0;  ///< offered bandwidth
+  double hbm_utilization = 0.0;      ///< granted / offered over the run
+  u64 hbm_granted_bytes = 0;
+  u64 hbm_denied_grants = 0;  ///< word grants refused (backpressure events)
+
+  /// System FPU utilization: useful FPU issues per core-cycle of the system
+  /// window.
+  double fpu_util() const;
+};
+
+/// The seed for cluster g's shard of a system run seeded with `seed`
+/// (cluster 0 keeps `seed` itself — the G=1 bit-identity anchor).
+u64 system_cluster_seed(u64 seed, u32 g);
+
+/// Execute stage: stage ios[g] into cluster g, run the interleaved cycle
+/// loop (parallel when cfg.parallel), verify each cluster against
+/// goldens[g] (or recompute from its io), extract metrics. `sys` must be
+/// freshly constructed and shaped like cfg; ios must have one entry per
+/// cluster. goldens may be empty (= all null).
+SystemRunMetrics execute_system_kernel(const CompiledKernel& ck, System& sys,
+                                       const SystemRunConfig& cfg,
+                                       std::vector<KernelIO>& ios,
+                                       const std::vector<const Grid<>*>&
+                                           goldens = {});
+
+/// Run one time iteration of `sc` on a fresh G-cluster system with seeded
+/// pseudo-random per-cluster data; compiles once through the global
+/// PlanCache (fetched per cluster, so the cache footer shows 1 compile + G-1
+/// hits for the cell) and reuses memoized golden references per shard seed.
+SystemRunMetrics run_system_kernel(const StencilCode& sc,
+                                   const SystemRunConfig& cfg);
+
+}  // namespace saris

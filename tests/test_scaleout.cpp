@@ -20,6 +20,39 @@ TEST(Hbm, PaperBandwidthNumbers) {
   EXPECT_DOUBLE_EQ(h.bytes_per_cycle_per_cluster(), 12.8);
 }
 
+// The estimator divides by the freq_ghz-derived peak and the per-cluster
+// bandwidth share; a zeroed config field must abort with the field name
+// instead of quietly producing NaN figures.
+TEST(Manticore, DegenerateConfigAborts) {
+  const StencilCode& sc = code_by_name("jacobi_2d");
+  RunMetrics m;
+  m.cycles = 1000;
+  m.fpu_useful_ops = 800;
+  m.flops = 1600;
+  m.dma_util = 0.8;
+  m.core_busy.assign(8, 1000);
+  m.per_core.resize(8);
+
+  ManticoreConfig bad;
+  bad.hbm.freq_ghz = 0.0;
+  EXPECT_DEATH(estimate_scaleout(sc, m, m, bad), "freq_ghz");
+  bad = ManticoreConfig{};
+  bad.hbm.devices = 0;
+  EXPECT_DEATH(estimate_scaleout(sc, m, m, bad), "devices");
+  bad = ManticoreConfig{};
+  bad.hbm.gbps_per_pin = -1.0;
+  EXPECT_DEATH(estimate_scaleout(sc, m, m, bad), "gbps_per_pin");
+  bad = ManticoreConfig{};
+  bad.hbm.clusters_per_device = 0;
+  EXPECT_DEATH(estimate_scaleout(sc, m, m, bad), "clusters_per_device");
+  bad = ManticoreConfig{};
+  bad.groups = 0;
+  EXPECT_DEATH(estimate_scaleout(sc, m, m, bad), "groups");
+  bad = ManticoreConfig{};
+  bad.cores_per_cluster = 0;
+  EXPECT_DEATH(estimate_scaleout(sc, m, m, bad), "cores_per_cluster");
+}
+
 TEST(Manticore, SystemShape) {
   ManticoreConfig m;
   EXPECT_EQ(m.total_cores(), 256u);

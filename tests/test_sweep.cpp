@@ -22,8 +22,32 @@ TEST(SweepThreads, EnvOverrideWhenNotRequested) {
   ASSERT_EQ(setenv("SARIS_SWEEP_THREADS", "5", /*overwrite=*/1), 0);
   EXPECT_EQ(sweep_thread_count(0, 100), 5u);
   EXPECT_EQ(sweep_thread_count(2, 100), 2u);  // explicit request wins
-  ASSERT_EQ(setenv("SARIS_SWEEP_THREADS", "0", 1), 0);
-  EXPECT_GE(sweep_thread_count(0, 100), 1u);  // junk value falls through
+  ASSERT_EQ(unsetenv("SARIS_SWEEP_THREADS"), 0);
+}
+
+// A set-but-invalid SARIS_SWEEP_THREADS is a misconfiguration and must fail
+// loudly, not silently clamp or fall back to hardware concurrency.
+TEST(SweepThreads, InvalidEnvValuesAreRejected) {
+  auto with_env = [](const char* value) {
+    ASSERT_EQ(setenv("SARIS_SWEEP_THREADS", value, /*overwrite=*/1), 0);
+  };
+  with_env("0");
+  EXPECT_DEATH(sweep_thread_count(0, 100), "must be >= 1");
+  with_env("-3");
+  EXPECT_DEATH(sweep_thread_count(0, 100), "must be >= 1");
+  with_env("abc");
+  EXPECT_DEATH(sweep_thread_count(0, 100), "positive integer");
+  with_env("4x");
+  EXPECT_DEATH(sweep_thread_count(0, 100), "positive integer");
+  with_env("");
+  EXPECT_DEATH(sweep_thread_count(0, 100), "positive integer");
+  with_env("99999999999999999999");  // > LONG_MAX: strtol reports ERANGE
+  EXPECT_DEATH(sweep_thread_count(0, 100), "overflows");
+  with_env("5000000000");  // fits in long but not in u32
+  EXPECT_DEATH(sweep_thread_count(0, 100), "overflows");
+  // An explicit in-code request does not consult the (broken) environment.
+  with_env("abc");
+  EXPECT_EQ(sweep_thread_count(3, 100), 3u);
   ASSERT_EQ(unsetenv("SARIS_SWEEP_THREADS"), 0);
 }
 
