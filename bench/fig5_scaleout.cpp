@@ -14,8 +14,16 @@
 // At G=1 the simulated run must be (and is checked to be) bit-identical to
 // the single-cluster run_kernel pipeline.
 //
-//   fig5_scaleout [--simulate G] [--parallel] [--threads N]
-//                 [--codes a,b,...] [--json PATH]
+// --tiles T streams T tiles back-to-back through every cluster (cluster
+// re-arm + restage between tiles, reloads overlapping across clusters), so
+// the run measures steady-state HBM contention instead of one tile's
+// transient; a steady-state table (first vs steady tile latency and HBM
+// utilization, mean inter-tile reload gap) and BENCH_fig5_steady.json are
+// emitted. --batch k lets the System run up to k cycles between its serial
+// synchronization points where legal — bit-identical to k = 1.
+//
+//   fig5_scaleout [--simulate G] [--tiles T] [--batch k] [--parallel]
+//                 [--threads N] [--codes a,b,...] [--json PATH]
 // (--threads N implies --parallel; --parallel alone resolves the worker
 // count like the sweep engine: SARIS_SWEEP_THREADS, then hardware.)
 #include <cerrno>
@@ -83,18 +91,59 @@ struct SimRow {
   double dma_util;
 };
 
+struct SteadyRow {
+  std::string code;
+  const char* variant;
+  double first_tile;   ///< mean over clusters, tile 0 latency
+  double steady_tile;  ///< mean over clusters and tiles >= 2
+  double reload_gap;   ///< mean inter-tile gap (drain tail)
+  double hbm_first;    ///< HBM utilization, first-tile phase
+  double hbm_steady;   ///< HBM utilization, steady phase
+  Cycle total_cycles;
+};
+
+/// Mean per-tile latency over the steady tiles (t >= 1) of every cluster.
+double steady_tile_mean(const SystemRunMetrics& sm) {
+  double sum = 0.0;
+  u64 n = 0;
+  for (u32 g = 0; g < sm.tiles_latency.size(); ++g) {
+    for (u32 t = 1; t < sm.tiles; ++t) {
+      sum += static_cast<double>(sm.tiles_latency[g][t]);
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double first_tile_mean(const SystemRunMetrics& sm) {
+  double sum = 0.0;
+  for (u32 g = 0; g < sm.tiles_latency.size(); ++g) {
+    sum += static_cast<double>(sm.tiles_latency[g][0]);
+  }
+  return sm.tiles_latency.empty()
+             ? 0.0
+             : sum / static_cast<double>(sm.tiles_latency.size());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace saris;
   u32 simulate = 0;
+  u32 tiles = 1;
+  u32 batch = 1;
   bool parallel = false;
   u32 threads = 0;
   const char* json_path = "BENCH_fig5_sim.json";
+  const char* steady_json_path = "BENCH_fig5_steady.json";
   std::vector<std::string> only_codes;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--simulate") == 0 && i + 1 < argc) {
       simulate = parse_u32("--simulate", argv[++i], 1);
+    } else if (std::strcmp(argv[i], "--tiles") == 0 && i + 1 < argc) {
+      tiles = parse_u32("--tiles", argv[++i], 1);
+    } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+      batch = parse_u32("--batch", argv[++i], 1);
     } else if (std::strcmp(argv[i], "--parallel") == 0) {
       parallel = true;
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -102,6 +151,8 @@ int main(int argc, char** argv) {
       parallel = true;  // an explicit worker count implies parallel ticking
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--steady-json") == 0 && i + 1 < argc) {
+      steady_json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--codes") == 0 && i + 1 < argc) {
       std::string csv_arg = argv[++i];
       std::size_t pos = 0;
@@ -114,11 +165,16 @@ int main(int argc, char** argv) {
       }
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--simulate G] [--parallel] [--threads N] "
-                   "[--codes a,b,...] [--json PATH]\n",
+                   "usage: %s [--simulate G] [--tiles T] [--batch k] "
+                   "[--parallel] [--threads N] [--codes a,b,...] "
+                   "[--json PATH] [--steady-json PATH]\n",
                    argv[0]);
       return 2;
     }
+  }
+  if ((tiles > 1 || batch > 1) && simulate == 0) {
+    std::fprintf(stderr, "--tiles/--batch need --simulate G\n");
+    return 2;
   }
 
   // Validate every requested name up front (code_by_name aborts on unknown
@@ -198,9 +254,14 @@ int main(int argc, char** argv) {
     std::printf(
         "\n== Simulated %u-cluster system (HBM-arbitrated) vs analytic ==\n",
         simulate);
+    if (tiles > 1) {
+      std::printf("   (%u tiles streamed per cluster, barrier batch %u)\n",
+                  tiles, batch);
+    }
     TextTable st({"code", "variant", "sim t_tile", "analytic", "delta",
                   "hbm util", "denied", "sim speedup", "analytic speedup"});
     std::vector<SimRow> sim_rows;
+    std::vector<SteadyRow> steady_rows;
     std::vector<double> sim_sp, ana_sp;
     for (const MatrixRun& run : rows) {
       const StencilCode& sc = *run.code;
@@ -220,6 +281,8 @@ int main(int argc, char** argv) {
         sc_cfg.hbm = cfg.hbm;
         sc_cfg.parallel = parallel;
         sc_cfg.threads = threads;
+        sc_cfg.tiles = tiles;
+        sc_cfg.batch = batch;
         SystemRunMetrics sm = run_system_kernel(sc, sc_cfg);
         if (simulate == 1) {
           // Acceptance self-check: a 1-cluster simulated run must be
@@ -233,22 +296,44 @@ int main(int argc, char** argv) {
                          "run_kernel ("
                       << why << ")");
         }
-        sim_tile[v] = sm.cycles;
+        // The analytic model prices one tile; every column of this row is
+        // therefore measured over the FIRST tile round (== the whole run
+        // when tiles = 1, so single-tile output is unchanged) — mixing a
+        // first-round latency with whole-run HBM stats would compare
+        // numbers from different windows. The steady table below carries
+        // the steady-phase story.
+        Cycle first_round = 0;
+        Cycle first_compute = 0;
+        u64 first_denied = 0;
+        double first_util = sm.tiles > 1 ? sm.hbm_util_first_tile
+                                         : sm.hbm_utilization;
+        for (u32 g = 0; g < simulate; ++g) {
+          first_round = std::max(first_round, sm.tile_done[g]);
+          first_compute = std::max(first_compute, sm.tiles_window[g][0]);
+          first_denied += sm.tiles_hbm_denied[g][0];
+        }
+        sim_tile[v] = first_round;
         ana_tile[v] =
             analytic_tile_g(sc, *solo[v], dma_util, cfg.hbm, simulate);
         double delta =
-            (static_cast<double>(sm.cycles) - ana_tile[v]) / ana_tile[v];
+            (static_cast<double>(first_round) - ana_tile[v]) / ana_tile[v];
         sim_rows.push_back(SimRow{sc.name, variant_name(variants[v]),
-                                  simulate, sm.cycles, sm.compute_cycles,
-                                  ana_tile[v], delta, sm.hbm_utilization,
-                                  sm.hbm_denied_grants,
-                                  solo[v]->dma_util});
+                                  simulate, first_round, first_compute,
+                                  ana_tile[v], delta, first_util,
+                                  first_denied, solo[v]->dma_util});
+        if (tiles > 1) {
+          steady_rows.push_back(
+              SteadyRow{sc.name, variant_name(variants[v]),
+                        first_tile_mean(sm), steady_tile_mean(sm),
+                        sm.mean_reload_gap(), sm.hbm_util_first_tile,
+                        sm.hbm_util_steady, sm.cycles});
+        }
         st.add_row({v == 0 ? sc.name : "", variant_name(variants[v]),
                     std::to_string(sim_tile[v]),
                     TextTable::fmt(ana_tile[v], 0),
                     TextTable::pct(delta),
-                    TextTable::pct(sm.hbm_utilization),
-                    std::to_string(sm.hbm_denied_grants),
+                    TextTable::pct(first_util),
+                    std::to_string(first_denied),
                     v == 0 ? "" : TextTable::fmt(
                         static_cast<double>(sim_tile[0]) / sim_tile[1], 2),
                     v == 0 ? "" : TextTable::fmt(ana_tile[0] / ana_tile[1],
@@ -300,6 +385,50 @@ int main(int argc, char** argv) {
                  geomean(sim_sp), geomean(ana_sp));
     std::fclose(f);
     std::printf("wrote %s\n", json_path);
+
+    if (tiles > 1) {
+      std::printf(
+          "\n== Steady state: %u tiles streamed per cluster ==\n", tiles);
+      TextTable tt({"code", "variant", "first t_tile", "steady t_tile",
+                    "reload gap", "hbm first", "hbm steady", "total cyc"});
+      for (const SteadyRow& r : steady_rows) {
+        tt.add_row({r.code, r.variant, TextTable::fmt(r.first_tile, 0),
+                    TextTable::fmt(r.steady_tile, 0),
+                    TextTable::fmt(r.reload_gap, 1),
+                    TextTable::pct(r.hbm_first), TextTable::pct(r.hbm_steady),
+                    std::to_string(r.total_cycles)});
+      }
+      std::printf("%s", tt.str().c_str());
+
+      std::FILE* sf = std::fopen(steady_json_path, "w");
+      if (!sf) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     steady_json_path);
+        return 1;
+      }
+      std::fprintf(sf,
+                   "{\n  \"bench\": \"fig5_scaleout_steady\",\n"
+                   "  \"clusters\": %u,\n  \"tiles\": %u,\n"
+                   "  \"batch\": %u,\n  \"parallel\": %s,\n"
+                   "  \"rows\": [\n",
+                   simulate, tiles, batch, parallel ? "true" : "false");
+      for (std::size_t i = 0; i < steady_rows.size(); ++i) {
+        const SteadyRow& r = steady_rows[i];
+        std::fprintf(
+            sf,
+            "    {\"code\": \"%s\", \"variant\": \"%s\", "
+            "\"first_tile_cycles\": %.1f, \"steady_tile_cycles\": %.1f, "
+            "\"mean_reload_gap\": %.1f, \"hbm_util_first\": %.4f, "
+            "\"hbm_util_steady\": %.4f, \"total_cycles\": %llu}%s\n",
+            r.code.c_str(), r.variant, r.first_tile, r.steady_tile,
+            r.reload_gap, r.hbm_first, r.hbm_steady,
+            static_cast<unsigned long long>(r.total_cycles),
+            i + 1 < steady_rows.size() ? "," : "");
+      }
+      std::fprintf(sf, "  ]\n}\n");
+      std::fclose(sf);
+      std::printf("wrote %s\n", steady_json_path);
+    }
   }
 
   std::printf("%s\n%s", PlanCache::global().summary().c_str(),

@@ -22,6 +22,11 @@ class Barrier {
 
   u64 episodes() const { return episodes_; }
 
+  /// Back to power-on: no arrivals, no pending release, episode count zero.
+  /// Cluster re-arm path — must only be called between kernels (no core may
+  /// be parked at the barrier).
+  void reset();
+
  private:
   std::vector<bool> waiting_;
   u32 arrived_ = 0;

@@ -37,6 +37,22 @@ void Cluster::init(MemoryPort& mem_port) {
   for (u32 i = 0; i < cfg_.num_cores; ++i) active_ids_.push_back(i);
 }
 
+void Cluster::rearm() {
+  for (auto& c : cores_) c->rearm();
+  barrier_.reset();
+  tcdm_.reset();
+  dma_->reset();
+  now_ = 0;
+  state_.assign(cfg_.num_cores, CoreState::kActive);
+  last_ticked_.assign(cfg_.num_cores, 0);
+  halted_seen_.assign(cfg_.num_cores, false);
+  just_deactivated_.clear();
+  active_ids_.clear();
+  for (u32 i = 0; i < cfg_.num_cores; ++i) active_ids_.push_back(i);
+  halted_count_ = 0;
+  barrier_episodes_seen_ = 0;
+}
+
 Core& Cluster::core(u32 i) {
   SARIS_CHECK(i < cores_.size(), "bad core index " << i);
   return *cores_[i];

@@ -65,6 +65,20 @@ class Cluster {
   /// Advance one cycle: active cores, DMA, TCDM arbitration, barrier.
   void step();
 
+  /// Re-arm the cluster for the next kernel without reconstruction: cores
+  /// (including FPU/SSR/FREP/I$ state and counters), barrier, TCDM
+  /// (contents, arbitration state, statistics), and DMA return to power-on
+  /// state, and the clock rewinds to 0. Kept across a re-arm: the cluster
+  /// id, the memory-port binding (and any lazily allocated main-memory
+  /// chunks behind it — overlap-DMA writes may linger there; nothing in the
+  /// pipeline reads them back), and the dense/event-driven mode. Contract:
+  /// a re-armed cluster is bit-identical to a freshly constructed one —
+  /// stage the next kernel with stage_kernel and every simulated result and
+  /// performance counter matches a fresh cluster's (tests/test_cluster.cpp,
+  /// tests/test_system.cpp enforce this). Must be called between kernels
+  /// (not with cores mid-flight); any cycle state is simply discarded.
+  void rearm();
+
   /// O(1) in event-driven mode (an active halted-core count), O(cores)
   /// under the dense baseline.
   bool all_halted() const;

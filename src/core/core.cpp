@@ -17,6 +17,15 @@ void Core::load_program(Program p) {
   reset();
 }
 
+void Core::rearm() {
+  fpu_.reset();
+  seq_.reset();
+  ssr_.reset();
+  icache_.reset();
+  prog_ = Program{};
+  reset();
+}
+
 void Core::reset() {
   pc_ = 0;
   xregs_.fill(0);

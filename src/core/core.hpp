@@ -31,6 +31,14 @@ class Core {
   void load_program(Program p);
   void reset();
 
+  /// Full power-on reset: reset() plus the subsystems it leaves alone —
+  /// FPU queue/pipeline, SSR lanes, FREP sequencer, and the instruction
+  /// cache (tags AND hit/miss counters, so a re-armed core pays the same
+  /// cold misses a fresh one would) — and the loaded program is dropped.
+  /// Cluster re-arm path; behaviour after rearm() + load_program() is
+  /// bit-identical to a freshly constructed core.
+  void rearm();
+
   /// Advance one cycle (SSR collect -> FPU -> sequencer -> integer step ->
   /// SSR issue). The cluster arbitrates the TCDM afterwards.
   ///

@@ -251,4 +251,13 @@ bool FpSubsystem::drained() const {
   return queue_.empty() && pipe_.empty() && !lsu_busy_;
 }
 
+void FpSubsystem::reset() {
+  queue_.clear();
+  pipe_.clear();
+  freg_ready_.fill(0);
+  lsu_busy_ = false;
+  lsu_is_load_ = false;
+  lsu_dest_ = FReg{};
+}
+
 }  // namespace saris

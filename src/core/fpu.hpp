@@ -43,6 +43,11 @@ class FpSubsystem {
   /// True when no instruction is queued, in flight, or waiting on memory.
   bool drained() const;
 
+  /// Back to power-on: queue, pipeline, scoreboard, and LSU state cleared.
+  /// Part of the cluster re-arm contract (the owning Core resets the shared
+  /// CorePerf counters and FP register file itself).
+  void reset();
+
   /// Cheap activity flag: when true, collect() is a no-op and tick() only
   /// bumps the idle counter — callers may take an equivalent fast path.
   bool quiescent() const {

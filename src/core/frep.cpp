@@ -54,4 +54,14 @@ Instr FrepSequencer::next() {
   return in;
 }
 
+void FrepSequencer::reset() {
+  buf_.clear();
+  to_capture_ = 0;
+  reps_left_ = 0;
+  pos_ = 0;
+  stagger_ = 1;
+  stagger_base_ = 32;
+  iter_ = 0;
+}
+
 }  // namespace saris

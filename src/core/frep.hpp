@@ -37,6 +37,10 @@ class FrepSequencer {
   bool has_next() const { return replaying(); }
   Instr next();
 
+  /// Back to power-on (no capture, no replay, empty buffer) — the cluster
+  /// re-arm path; a drained sequencer resets to exactly this state anyway.
+  void reset();
+
  private:
   std::vector<Instr> buf_;
   u32 to_capture_ = 0;

@@ -44,4 +44,11 @@ u32 ICache::access(u32 byte_addr) {
   return miss_latency_;
 }
 
+void ICache::reset() {
+  ways_.assign(ways_.size(), Way{});
+  tick_ = 0;
+  hits_ = 0;
+  misses_ = 0;
+}
+
 }  // namespace saris

@@ -96,6 +96,11 @@ class Dma {
   double bandwidth_utilization() const;
   void reset_stats();
 
+  /// Back to power-on: job queue, row cursors, outstanding words, and
+  /// statistics cleared. Cluster re-arm path — the TCDM port registrations
+  /// and the memory port binding are kept, as is the dense/sparse scan mode.
+  void reset();
+
  private:
   struct Outstanding {
     bool in_flight = false;

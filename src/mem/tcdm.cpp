@@ -219,4 +219,18 @@ void Tcdm::reset_stats() {
   }
 }
 
+void Tcdm::reset() {
+  std::memset(mem_.data(), 0, mem_.size());
+  for (Port& p : ports_) {
+    std::string name = std::move(p.name);
+    p = Port{};
+    p.name = std::move(name);
+  }
+  rr_next_.assign(rr_next_.size(), 0);
+  for (auto& bp : bank_pending_) bp.clear();
+  active_banks_.clear();
+  total_accesses_ = 0;
+  total_conflicts_ = 0;
+}
+
 }  // namespace saris

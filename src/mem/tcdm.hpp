@@ -76,6 +76,13 @@ class Tcdm {
   u64 port_accesses(u32 port) const;
   void reset_stats();
 
+  /// Back to power-on: memory zeroed, every port's request/response state
+  /// and statistics cleared, per-bank round-robin pointers and pending
+  /// lists reset. Port registrations (ids and names) are kept — requesters
+  /// hold their port ids across a cluster re-arm. The dense/sparse
+  /// arbitration mode is preserved.
+  void reset();
+
  private:
   struct Port {
     std::string name;

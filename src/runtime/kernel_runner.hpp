@@ -55,10 +55,12 @@ struct KernelIO {
 
 /// Execute stage: stage `io` into `cluster`, load the artifact's programs,
 /// run the cycle loop with overlapped steady-state DMA, verify, and extract
-/// metrics. `cluster` must be freshly constructed (performance counters at
-/// zero) and shaped like the artifact (same core count and TCDM size);
-/// multi-step callers construct a cheap new cluster per step and reuse one
-/// CompiledKernel. When `golden` is non-null it is used as the reference
+/// metrics. `cluster` must be at power-on state — freshly constructed or
+/// re-armed (Cluster::rearm), which are bit-identical — and shaped like the
+/// artifact (same core count and TCDM size); multi-step callers re-arm (or
+/// construct) a cluster per step and reuse one CompiledKernel. Staging is
+/// re-entrant: rearm + execute_kernel streams any number of kernels through
+/// one cluster. When `golden` is non-null it is used as the reference
 /// for verification instead of recomputing it from `io` (see
 /// reference_for_seed for the memoized seeded-random path).
 RunMetrics execute_kernel(const CompiledKernel& ck, Cluster& cluster,

@@ -12,6 +12,18 @@ namespace {
 static_assert(sizeof(HbmConfig) > 0);
 }  // namespace
 
+u64 HbmConfig::bytes_per_cycle_fp_for_clusters(u32 clusters) const {
+  // bytes/cycle = devices * pins * gbps_per_pin / (8 * freq_ghz), scaled by
+  // 2^16. The integer part of the rational (devices * pins * 2^16 / 8 =
+  // devices * pins * 8192) stays exact in u64; the two double factors are
+  // applied in extended precision with a single final floor.
+  u64 exact = static_cast<u64>(devices_for_clusters(clusters)) *
+              pins_per_device * 8192u;
+  long double rate =
+      static_cast<long double>(exact) * gbps_per_pin / freq_ghz;
+  return static_cast<u64>(std::floor(rate));
+}
+
 void validate(const HbmConfig& hbm) {
   SARIS_CHECK(hbm.devices >= 1, "HbmConfig: devices must be >= 1");
   SARIS_CHECK(hbm.pins_per_device >= 1,

@@ -37,6 +37,15 @@ struct HbmConfig {
   double bytes_per_cycle_for_clusters(u32 clusters) const {
     return devices_for_clusters(clusters) * device_gbps() / freq_ghz;
   }
+
+  /// The same machine bandwidth as a 16.16 fixed-point word budget — the
+  /// rate the HBM frontend deals per cycle. Derived in one place so the
+  /// granted budget and the utilization denominator agree exactly: the
+  /// rational devices*pins/8 factor is carried in integer arithmetic and
+  /// the single floating rounding is a floor, so the frontend can never
+  /// grant more than the configured bandwidth (the old llround could round
+  /// the rate up and let a saturated run report > 100% utilization).
+  u64 bytes_per_cycle_fp_for_clusters(u32 clusters) const;
 };
 
 /// Abort (with the offending field in the message) unless every HbmConfig

@@ -90,4 +90,11 @@ u64 SsrUnit::total_idx_words_fetched() const {
   return n;
 }
 
+void SsrUnit::reset() {
+  for (auto& l : lanes_) l->reset();
+  enabled_ = false;
+  idx_inflight_lane_ = kNumSsrLanes;
+  idx_rr_ = 0;
+}
+
 }  // namespace saris

@@ -47,6 +47,10 @@ class SsrUnit {
   u64 total_elems_streamed() const;
   u64 total_idx_words_fetched() const;
 
+  /// Back to power-on: every lane reset, streaming disabled, index-port
+  /// round-robin and in-flight state cleared. Cluster re-arm path.
+  void reset();
+
  private:
   Tcdm& tcdm_;
   std::array<std::unique_ptr<SsrLane>, kNumSsrLanes> lanes_;

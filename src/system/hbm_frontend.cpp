@@ -29,7 +29,12 @@ HbmFrontend::HbmFrontend(MainMemory& mem, const HbmConfig& hbm, u32 num_ports,
     ports_.emplace_back(
         new Port(*this, static_cast<u64>(g) * arena_bytes, arena_bytes));
   }
-  rate_fp_ = static_cast<u64>(std::llround(bytes_per_cycle() * 65536.0));
+  // Exact 16.16 rate from the one HbmConfig formula (floored, so the dealt
+  // budget can never exceed the configured bandwidth); utilization() is
+  // measured against this same fixed-point budget and is therefore <= 1 by
+  // construction. llround here used to over-grant whenever the fractional
+  // part rounded up, letting long saturated runs report > 100% utilization.
+  rate_fp_ = hbm_.bytes_per_cycle_fp_for_clusters(num_ports);
   SARIS_CHECK(!limited_ || rate_fp_ >= 1,
               "HBM bandwidth rounds to zero bytes/cycle");
 }
@@ -118,9 +123,29 @@ u64 HbmFrontend::denied_grants() const {
 }
 
 double HbmFrontend::utilization() const {
-  if (!limited_ || cycles_ == 0) return 0.0;
-  return static_cast<double>(granted_bytes()) /
-         (bytes_per_cycle() * static_cast<double>(cycles_));
+  return utilization_of(granted_bytes(), cycles_);
+}
+
+double HbmFrontend::utilization_of(u64 bytes, Cycle cycles) const {
+  if (!limited_ || cycles == 0) return 0.0;
+  // Granted over offered, both in the frontend's own 16.16 budget units:
+  // grants draw from the dealt budget and the dealt budget is bounded by
+  // cycles * rate_fp_, so with bytes granted inside the window this ratio
+  // cannot exceed 1 (test-enforced).
+  return static_cast<double>(bytes) * 65536.0 /
+         (static_cast<double>(rate_fp_) * static_cast<double>(cycles));
+}
+
+void HbmFrontend::reset() {
+  for (auto& p : ports_) {
+    p->demand_ = false;
+    p->credit_bytes_ = 0;
+    p->granted_bytes_ = 0;
+    p->denied_ = 0;
+  }
+  carry_fp_ = 0;
+  rr_ = 0;
+  cycles_ = 0;
 }
 
 }  // namespace saris

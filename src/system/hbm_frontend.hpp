@@ -94,13 +94,30 @@ class HbmFrontend {
   /// (ceil(num_ports / clusters_per_device) devices' worth).
   double bytes_per_cycle() const;
 
+  /// The per-cycle word-grant budget in 16.16 fixed point — floored from
+  /// HbmConfig's rational bandwidth, so dealing can never exceed the
+  /// configured rate.
+  u64 rate_fp() const { return rate_fp_; }
+
   // ---- statistics ----
   Cycle cycles() const { return cycles_; }
   u64 granted_bytes() const;
   u64 denied_grants() const;
   /// Granted fraction of the bandwidth offered so far (0 when unlimited or
-  /// before the first cycle).
+  /// before the first cycle). Measured against the fixed-point budget
+  /// actually dealt from, so it is <= 1 by construction.
   double utilization() const;
+  /// The one ratio formula behind every utilization number: `bytes` over
+  /// the fixed-point budget offered during `cycles`. Callers accounting
+  /// run phases (first-tile vs steady-state) pass their own sampled bytes
+  /// and window so all reported utilizations share this definition.
+  double utilization_of(u64 bytes, Cycle cycles) const;
+
+  /// Back to power-on: per-port credits/demand/statistics, the rotation
+  /// pointer, the budget carry, and the cycle counter cleared. The System
+  /// runner calls this when re-arming a reused System so a second run's
+  /// grant schedule and statistics are bit-identical to a fresh one's.
+  void reset();
 
  private:
   MainMemory& mem_;

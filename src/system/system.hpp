@@ -65,15 +65,35 @@ class System {
 
   /// Advance cycles until done(g) holds for every cluster; a cluster is
   /// ticked only while its own done(g) is false (and done is re-evaluated
-  /// once per cycle, before the tick). after_tick(g), when set, runs right
-  /// after each cluster tick — on the worker that owns g, so it may touch
-  /// only cluster g's state. With threads > 1 the clusters tick on a worker
-  /// pool with a per-cycle barrier; results are bit-identical to threads=1.
-  /// Aborts with `label` in the message if max_cycles elapse. Returns
-  /// cycles elapsed.
+  /// at every batch boundary, before the tick). after_tick(g), when set,
+  /// runs right after each cluster tick — on the worker that owns g, so it
+  /// may touch only cluster g's state. With threads > 1 the clusters tick
+  /// on a worker pool with a per-boundary barrier; results are
+  /// bit-identical to threads=1. Aborts with `label` in the message if
+  /// max_cycles elapse (in the parallel path the overrun is latched at the
+  /// barrier's noexcept completion step and raised from the calling thread
+  /// once the pool has joined, so the labeled diagnostic is reported
+  /// instead of a mid-barrier termination). Returns cycles elapsed.
+  ///
+  /// `batch` > 1 amortizes the per-cycle serial point: each boundary runs
+  /// up to `batch` cycles before the next done/credit synchronization,
+  /// when that is provably bit-identical to batch = 1. The HBM credit cap
+  /// is one DMA datapath round, which a demanding engine can drain in a
+  /// single cycle — so while any unfinished cluster's DMA holds work (or
+  /// may_spawn_dma(g) says its after_tick may stage new work mid-batch)
+  /// the credits must be re-dealt every cycle and the batch collapses to
+  /// 1; demand-free spans (and the whole run when bandwidth is
+  /// unarbitrated) batch freely, with the boundary dealing each skipped
+  /// cycle's (empty) budget up front. Consequence of batching: done(g) is
+  /// observed at boundaries only, so a cluster may be ticked up to
+  /// batch - 1 cycles past the cycle its done(g) first became true —
+  /// callers' per-tick bookkeeping must (and the system runner's does)
+  /// treat those trailing ticks as no-ops.
   Cycle run_until(const std::function<bool(u32)>& done, u32 threads,
                   Cycle max_cycles, const std::string& label,
-                  const std::function<void(u32)>& after_tick = {});
+                  const std::function<void(u32)>& after_tick = {},
+                  u32 batch = 1,
+                  const std::function<bool(u32)>& may_spawn_dma = {});
 
  private:
   SystemConfig cfg_;

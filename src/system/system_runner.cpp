@@ -1,5 +1,6 @@
 #include "system/system_runner.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 
@@ -18,19 +19,56 @@ u64 system_cluster_seed(u64 seed, u32 g) {
   return seed + static_cast<u64>(g) * 0x100000001b3ull;
 }
 
+u64 system_tile_seed(u64 seed, u32 g, u32 t) {
+  // Tile 0 reduces to the cluster seed (the single-tile anchor); later
+  // tiles stride by the splitmix64 increment, again relying on
+  // fill_random's finalizer for decorrelation.
+  return system_cluster_seed(seed, g) +
+         static_cast<u64>(t) * 0x9E3779B97F4A7C15ull;
+}
+
+Cycle SystemRunMetrics::reload_gap(u32 g, u32 t) const {
+  SARIS_CHECK(g < tiles_latency.size() && t >= 1 &&
+                  t < tiles_latency[g].size(),
+              "reload_gap needs a (cluster, tile >= 1) pair, got (" << g
+                                                                    << ", "
+                                                                    << t
+                                                                    << ")");
+  return tiles_latency[g][t - 1] - tiles_window[g][t - 1];
+}
+
+double SystemRunMetrics::mean_reload_gap() const {
+  u64 sum = 0;
+  u64 n = 0;
+  for (u32 g = 0; g < tiles_latency.size(); ++g) {
+    for (u32 t = 1; t < tiles_latency[g].size(); ++t) {
+      sum += reload_gap(g, t);
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(n);
+}
+
 double SystemRunMetrics::fpu_util() const {
-  if (cycles == 0 || per_cluster.empty()) return 0.0;
+  if (cycles == 0 || tiles_metrics.empty()) return 0.0;
   u64 useful = 0;
   u64 cores = 0;
-  for (const RunMetrics& m : per_cluster) {
-    useful += m.fpu_useful_ops;
-    cores += m.num_cores();
+  for (const std::vector<RunMetrics>& cluster_tiles : tiles_metrics) {
+    for (const RunMetrics& m : cluster_tiles) useful += m.fpu_useful_ops;
+    if (!cluster_tiles.empty()) cores += cluster_tiles.front().num_cores();
   }
   return static_cast<double>(useful) /
          (static_cast<double>(cycles) * static_cast<double>(cores));
 }
 
 namespace {
+
+/// "No cycle recorded yet" sentinel for per-tile compute windows and
+/// completion stamps. 0 is a legitimate value (a cluster can be done before
+/// its first tick and must then be seeded with real zeros, not left on a
+/// magic 0 that reads as "pending"), so the sentinel is the one cycle count
+/// no finite run can reach.
+constexpr Cycle kNotYet = ~Cycle{0};
 
 /// The artifact's overlap-DMA templates carry main-memory addresses
 /// relative to base 0; shift them into cluster g's arena.
@@ -49,61 +87,155 @@ SystemRunMetrics execute_system_kernel(const CompiledKernel& ck, System& sys,
                                            goldens) {
   const StencilCode& sc = ck.code;
   const u32 g_count = sys.num_clusters();
+  const u32 tiles = cfg.tiles;
+  SARIS_CHECK(tiles >= 1, sc.name << ": a system run needs tiles >= 1");
   SARIS_CHECK(g_count == cfg.clusters,
               sc.name << ": system has " << g_count
                       << " clusters but the config asks for "
                       << cfg.clusters);
-  SARIS_CHECK(ios.size() == g_count,
-              sc.name << ": need one KernelIO per cluster (" << ios.size()
-                      << " for " << g_count << ")");
-  SARIS_CHECK(goldens.empty() || goldens.size() == g_count,
-              sc.name << ": goldens must be empty or one per cluster");
+  SARIS_CHECK(ios.size() == static_cast<std::size_t>(g_count) * tiles,
+              sc.name << ": need one KernelIO per (cluster, tile) ("
+                      << ios.size() << " for " << g_count << " x " << tiles
+                      << ")");
+  SARIS_CHECK(goldens.empty() || goldens.size() == ios.size(),
+              sc.name << ": goldens must be empty or one per (cluster, "
+                         "tile)");
 
-  // ---- stage every cluster and queue its arena-relative overlap DMA ----
-  for (u32 g = 0; g < g_count; ++g) {
+  // ---- per-cluster tile-streaming state ----
+  // Everything below is owned by the worker that ticks cluster g (or the
+  // single serial loop): the tile state machine advances inside after_tick,
+  // which System::run_until runs on g's owner right after each tick.
+  struct TileState {
+    u32 cur_tile = 0;
+    /// System cycles this cluster ticked before its current tile was
+    /// staged. The cluster ticks every system cycle until it finishes its
+    /// last tile, so ticks_base + cluster.now() is the current system
+    /// cycle — computed without reading the (batch-granular) system clock,
+    /// which keeps every stamp bit-identical across batch sizes.
+    Cycle ticks_base = 0;
+    Cycle window = kNotYet;  ///< current tile's halt, cluster-local
+    bool finished = false;   ///< all tiles done; later ticks are no-ops
+    u64 granted_base = 0;    ///< port granted_bytes at current tile start
+    u64 denied_base = 0;     ///< port denied_grants at current tile start
+    std::vector<u64> last_useful;
+    std::vector<u32> timeline;
+  };
+  std::vector<TileState> st(g_count);
+
+  SystemRunMetrics sm;
+  sm.tiles = tiles;
+  auto cycle_matrix = [&](std::vector<std::vector<Cycle>>& m, Cycle fill) {
+    m.assign(g_count, std::vector<Cycle>(tiles, fill));
+  };
+  sm.tiles_metrics.assign(g_count, std::vector<RunMetrics>(tiles));
+  cycle_matrix(sm.tiles_window, kNotYet);
+  cycle_matrix(sm.tiles_latency, kNotYet);
+  cycle_matrix(sm.tiles_start, kNotYet);
+  cycle_matrix(sm.tiles_done_sys, kNotYet);
+  sm.tiles_hbm_bytes.assign(g_count, std::vector<u64>(tiles, 0));
+  sm.tiles_hbm_denied.assign(g_count, std::vector<u64>(tiles, 0));
+
+  auto stage_tile = [&](u32 g, u32 t) {
     Cluster& cl = sys.cluster(g);
-    check_artifact(ck, cl, cfg.run, ios[g]);
-    SARIS_CHECK(cl.now() == 0,
-                sc.name << ": system clusters must be freshly constructed");
-    stage_kernel(ck, cl, ios[g]);
+    const KernelIO& io = ios[static_cast<std::size_t>(g) * tiles + t];
+    check_artifact(ck, cl, cfg.run, io);
+    stage_kernel(ck, cl, io);
     if (cfg.run.overlap_dma) {
       for (const DmaJob& tmpl : ck.overlap_jobs) {
         cl.dma().push(offset_overlap_job(tmpl, sys.arena_base(g)));
       }
     }
+    sm.tiles_start[g][t] = st[g].ticks_base;
+  };
+
+  // Completion step for cluster g's current tile: when the cluster has
+  // both halted and drained, finish the tile (verify + extract metrics,
+  // including the flop-count invariant — a degenerate artifact fails here
+  // loudly instead of producing silently zeroed, unverified metrics), then
+  // re-arm + restage the next tile or retire the cluster. Runs on the
+  // worker that owns g; touches only cluster-g state (and this cluster's
+  // slots of the metrics matrices). Returns true when a tile was finished
+  // (callers loop: the restaged tile could itself be trivially done).
+  auto try_complete = [&](u32 g) -> bool {
+    TileState& ts = st[g];
+    Cluster& cl = sys.cluster(g);
+    if (ts.window == kNotYet && cl.all_halted()) ts.window = cl.now();
+    if (ts.window == kNotYet || !cl.dma().idle()) return false;
+
+    const u32 t = ts.cur_tile;
+    const std::size_t idx = static_cast<std::size_t>(g) * tiles + t;
+    cl.sync_idle_counters();
+    const Grid<>* golden = goldens.empty() ? nullptr : goldens[idx];
+    RunMetrics m = finish_kernel(ck, cl, cfg.run, ios[idx], golden,
+                                 /*t0=*/0, ts.window);
+    m.fpu_timeline = std::move(ts.timeline);
+    ts.timeline.clear();
+    sm.tiles_window[g][t] = ts.window;
+    sm.tiles_latency[g][t] = cl.now();
+    sm.tiles_done_sys[g][t] = ts.ticks_base + cl.now();
+    const u64 granted = sys.hbm().port(g).granted_bytes();
+    const u64 denied = sys.hbm().port(g).denied_grants();
+    sm.tiles_hbm_bytes[g][t] = granted - ts.granted_base;
+    sm.tiles_hbm_denied[g][t] = denied - ts.denied_base;
+    sm.tiles_metrics[g][t] = std::move(m);
+    if (t + 1 < tiles) {
+      ts.ticks_base += cl.now();
+      ts.cur_tile = t + 1;
+      ts.window = kNotYet;
+      ts.granted_base = granted;
+      ts.denied_base = denied;
+      std::fill(ts.last_useful.begin(), ts.last_useful.end(), 0);
+      cl.rearm();
+      stage_tile(g, t + 1);
+    } else {
+      ts.finished = true;
+    }
+    return true;
+  };
+
+  // ---- stage tile 0 everywhere ----
+  // rearm() first: staging is re-entrant on a power-on cluster, whether it
+  // was freshly constructed (rearm is then the identity) or carries a
+  // previous run's state — the old "must be freshly constructed" check is
+  // gone with it. The frontend resets too, so a reused System's grant
+  // schedule and statistics are bit-identical to a fresh one's. A cluster
+  // that is already done before its first tick (degenerate artifact) would
+  // never reach after_tick; drain it through the same completion step so
+  // its tiles get real (zero-cycle) stamps, full metric extraction, and
+  // verification instead of leaking the not-yet sentinel.
+  sys.hbm().reset();
+  for (u32 g = 0; g < g_count; ++g) {
+    Cluster& cl = sys.cluster(g);
+    cl.rearm();
+    st[g].last_useful.assign(ck.n_cores, 0);
+    st[g].granted_base = sys.hbm().port(g).granted_bytes();
+    st[g].denied_base = sys.hbm().port(g).denied_grants();
+    stage_tile(g, 0);
+    while (!st[g].finished && try_complete(g)) {
+    }
   }
 
   // ---- interleaved cycle loop ----
-  // Per-cluster completion has two stages, mirroring execute_kernel's
-  // "run until halted, then drain the DMA": the compute window closes at a
-  // cluster's own last halt, and the cluster keeps ticking (DMA drain only)
-  // until its engine idles — that drain still contends for HBM bandwidth,
-  // which is exactly why it is part of the simulated tile latency.
-  std::vector<Cycle> window(g_count, 0);
-  std::vector<u8> halted(g_count, 0);
-  std::vector<Cycle> done_at(g_count, 0);
-  std::vector<std::vector<u32>> timelines(g_count);
-  std::vector<std::vector<u64>> last_useful(
-      g_count, std::vector<u64>(ck.n_cores, 0));
-
-  auto done = [&](u32 g) {
-    Cluster& cl = sys.cluster(g);
-    return cl.all_halted() && cl.dma().idle();
+  // Per-cluster, per-tile completion has two stages, mirroring
+  // execute_kernel's "run until halted, then drain the DMA": the compute
+  // window closes at the cluster's own last halt, and the cluster keeps
+  // ticking (DMA drain only) until its engine idles — that drain still
+  // contends for HBM bandwidth, which is exactly why it is part of the
+  // simulated tile latency. The moment a tile drains, the same after_tick
+  // invocation finishes it (verify + metrics), re-arms the cluster, and
+  // stages the next tile, so the next system cycle already ticks the new
+  // tile — reloads overlap with every other cluster's progress.
+  auto done = [&](u32 g) { return st[g].finished; };
+  auto may_spawn_dma = [&](u32 g) {
+    return !st[g].finished && st[g].cur_tile + 1 < tiles;
   };
-  // Runs on the worker that owns g; touches only cluster-g state.
   auto after_tick = [&](u32 g) {
-    Cluster& cl = sys.cluster(g);
-    if (!halted[g]) {
-      if (cfg.run.record_timeline) {
-        timelines[g].push_back(count_active_fpu(cl, last_useful[g]));
-      }
-      if (cl.all_halted()) {
-        halted[g] = 1;
-        window[g] = cl.now();
-      }
+    TileState& ts = st[g];
+    if (ts.finished) return;  // trailing ticks of a batched boundary
+    if (ts.window == kNotYet && cfg.run.record_timeline) {
+      ts.timeline.push_back(count_active_fpu(sys.cluster(g), ts.last_useful));
     }
-    if (done_at[g] == 0 && cl.all_halted() && cl.dma().idle()) {
-      done_at[g] = cl.now();
+    while (!ts.finished && try_complete(g)) {
     }
   };
 
@@ -113,42 +245,79 @@ SystemRunMetrics execute_system_kernel(const CompiledKernel& ck, System& sys,
   }
   const std::string label =
       sc.name + std::string("/") + variant_name(ck.variant);
+  // The hang guard budgets each tile round; a T-tile stream gets T budgets.
+  const Cycle budget = cfg.run.max_cycles * static_cast<Cycle>(tiles);
   auto wall0 = std::chrono::steady_clock::now();
-  sys.run_until(done, threads, cfg.run.max_cycles, label, after_tick);
+  sys.run_until(done, threads, budget, label, after_tick, cfg.batch,
+                may_spawn_dma);
   double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
           .count();
 
-  // ---- finish every cluster: verify, extract metrics, aggregate ----
-  SystemRunMetrics sm;
+  // ---- aggregate ----
   sm.step_wall_seconds = wall;
   for (u32 g = 0; g < g_count; ++g) {
-    Cluster& cl = sys.cluster(g);
-    cl.sync_idle_counters();
-    const Grid<>* golden = goldens.empty() ? nullptr : goldens[g];
-    RunMetrics m = finish_kernel(ck, cl, cfg.run, ios[g], golden,
-                                 /*t0=*/0, window[g]);
-    m.fpu_timeline = std::move(timelines[g]);
-    m.step_wall_seconds = wall;
-    sm.flops += m.flops;
-    sm.dma_bytes += m.dma_bytes;
-    sm.compute_window.push_back(window[g]);
-    sm.tile_done.push_back(done_at[g]);
-    sm.cycles = std::max(sm.cycles, done_at[g]);
-    sm.compute_cycles = std::max(sm.compute_cycles, window[g]);
-    sm.per_cluster.push_back(std::move(m));
+    for (u32 t = 0; t < tiles; ++t) {
+      const RunMetrics& m = sm.tiles_metrics[g][t];
+      sm.flops += m.flops;
+      sm.dma_bytes += m.dma_bytes;
+      sm.compute_cycles = std::max(sm.compute_cycles, sm.tiles_window[g][t]);
+    }
+    sm.cycles = std::max(sm.cycles, sm.tiles_done_sys[g][tiles - 1]);
+    sm.per_cluster.push_back(sm.tiles_metrics[g][0]);
+    sm.per_cluster.back().step_wall_seconds = wall;
+    sm.compute_window.push_back(sm.tiles_window[g][0]);
+    sm.tile_done.push_back(sm.tiles_latency[g][0]);
   }
-  sm.hbm_bytes_per_cycle = sys.hbm().limited() ? sys.hbm().bytes_per_cycle()
-                                               : 0.0;
-  sm.hbm_utilization = sys.hbm().utilization();
+
+  const bool limited = sys.hbm().limited();
+  sm.hbm_bytes_per_cycle = limited ? sys.hbm().bytes_per_cycle() : 0.0;
   sm.hbm_granted_bytes = sys.hbm().granted_bytes();
   sm.hbm_denied_grants = sys.hbm().denied_grants();
+  if (limited && sm.cycles > 0) {
+    // All utilization ratios share HbmFrontend::utilization_of — measured
+    // against the frontend's 16.16 budget over tick-exact windows, so they
+    // are <= 1 and independent of the barrier batch size (the frontend's
+    // own cycle counter can overshoot the last completion by up to
+    // batch - 1 dealt-but-unused cycles).
+    sm.hbm_utilization =
+        sys.hbm().utilization_of(sm.hbm_granted_bytes, sm.cycles);
+    // Phase windows are chosen so every attributed byte provably lies
+    // inside its window (<= 1 then follows from the budget bound): tile-0
+    // bytes of cluster g are all granted by done_sys[g][0] <= first_end,
+    // and steady bytes (tiles >= 1 of any cluster) are all granted after
+    // that cluster's own tile-0 completion >= steady_start. first_end and
+    // steady_start coincide for balanced clusters; under imbalance the
+    // phases overlap and each ratio stays a sound per-phase lower bound.
+    Cycle first_end = 0;
+    Cycle steady_start = ~Cycle{0};
+    u64 first_bytes = 0;
+    u64 steady_bytes = 0;
+    for (u32 g = 0; g < g_count; ++g) {
+      first_end = std::max(first_end, sm.tiles_done_sys[g][0]);
+      steady_start = std::min(steady_start, sm.tiles_done_sys[g][0]);
+      first_bytes += sm.tiles_hbm_bytes[g][0];
+      for (u32 t = 1; t < tiles; ++t) steady_bytes += sm.tiles_hbm_bytes[g][t];
+    }
+    sm.hbm_util_first_tile = sys.hbm().utilization_of(first_bytes, first_end);
+    if (tiles > 1 && sm.cycles > steady_start) {
+      // Unlike the first-tile window (which starts at the frontend reset),
+      // the steady window can inherit credits banked just before it — up
+      // to one credit cap per port plus the sub-word carry — so the raw
+      // ratio can exceed 1 by that sliver on short saturated windows;
+      // clamp to keep the documented <= 1 invariant.
+      sm.hbm_util_steady = std::min(
+          1.0,
+          sys.hbm().utilization_of(steady_bytes, sm.cycles - steady_start));
+    }
+  }
   return sm;
 }
 
 SystemRunMetrics run_system_kernel(const StencilCode& sc,
                                    const SystemRunConfig& cfg) {
   SARIS_CHECK(cfg.clusters >= 1, "system run needs at least one cluster");
+  SARIS_CHECK(cfg.tiles >= 1, "system run needs at least one tile");
   SystemConfig scfg;
   scfg.clusters = cfg.clusters;
   scfg.cluster = cfg.run.cluster;
@@ -157,20 +326,26 @@ SystemRunMetrics run_system_kernel(const StencilCode& sc,
   scfg.arena_bytes = cfg.arena_bytes;
   System sys(scfg);
 
-  std::vector<KernelIO> ios(cfg.clusters);
+  std::vector<KernelIO> ios(static_cast<std::size_t>(cfg.clusters) *
+                            cfg.tiles);
   std::vector<std::shared_ptr<const Grid<>>> golden_refs;
   std::vector<const Grid<>*> goldens;
   std::shared_ptr<const CompiledKernel> ck;
   for (u32 g = 0; g < cfg.clusters; ++g) {
-    u64 seed = system_cluster_seed(cfg.run.seed, g);
-    for (u32 i = 0; i < sc.n_inputs; ++i) {
-      ios[g].inputs.emplace_back(sc.tile_nx, sc.tile_ny, sc.tile_nz);
-      ios[g].inputs.back().fill_random(seed + i);
-    }
-    ios[g].coeffs = sc.default_coeffs();
-    if (cfg.run.verify) {
-      golden_refs.push_back(reference_for_seed(sc, seed, &ios[g].inputs));
-      goldens.push_back(golden_refs.back().get());
+    for (u32 t = 0; t < cfg.tiles; ++t) {
+      u64 seed = system_tile_seed(cfg.run.seed, g, t);
+      KernelIO& io = ios[static_cast<std::size_t>(g) * cfg.tiles + t];
+      for (u32 i = 0; i < sc.n_inputs; ++i) {
+        io.inputs.emplace_back(sc.tile_nx, sc.tile_ny, sc.tile_nz);
+        io.inputs.back().fill_random(seed + i);
+      }
+      io.coeffs = sc.default_coeffs();
+      if (cfg.run.verify) {
+        // Precomputed host-side (and memoized per seed), so the cycle
+        // loop's workers never touch the reference memo.
+        golden_refs.push_back(reference_for_seed(sc, seed, &io.inputs));
+        goldens.push_back(golden_refs.back().get());
+      }
     }
     // Fetched once per cluster on purpose: the per-cell plan-cache footer
     // then shows the G-cluster run as 1 compile + (G-1) hits.

@@ -2,17 +2,30 @@
 // runtime/kernel_runner.hpp.
 //
 // A system run shards the scale-out tile grid across G clusters: every
-// cluster executes the same CompiledKernel on its own tile (its own shard's
+// cluster executes the same CompiledKernel on its own tiles (its own shard's
 // seeded data), all clusters tick in one interleaved cycle loop, and their
 // steady-state overlap-DMA traffic contends for the shared HBM bandwidth
 // through the HbmFrontend — so the per-tile latency it measures includes
 // real cross-cluster interference, not the analytic fair-share assumption.
 //
+// With tiles = T > 1 every cluster streams T tiles back-to-back: when a
+// cluster's tile completes (cores halted, DMA drained) the cluster is
+// re-armed in place (Cluster::rearm — no reconstruction, the lazy memory
+// pool and cluster id survive), the next tile's data and programs are
+// restaged with that (cluster, tile)'s seed, and its arena-offset overlap
+// DMA is re-queued — all while the other clusters keep ticking. Drain tails
+// and reloads therefore overlap across clusters and the HBM frontend sees
+// the paper's sustained steady-state contention instead of one tile's
+// transient.
+//
 // Contracts (tests/test_system.cpp):
 //  - clusters = 1 is bit-identical to the single-cluster run_kernel path
-//    (same seed, same artifact, same cycle-for-cycle schedule);
+//    (same seed, same artifact, same cycle-for-cycle schedule), and every
+//    tile t of a 1-cluster run is bit-identical to a fresh run_kernel with
+//    system_tile_seed(seed, 0, t) — the re-arm contract;
 //  - parallel = true (cluster ticking on worker threads) is bit-identical
-//    to serial ticking for any G.
+//    to serial ticking for any G and T;
+//  - batch > 1 (batched-barrier ticking) is bit-identical to batch = 1.
 #pragma once
 
 #include <vector>
@@ -25,48 +38,105 @@ namespace saris {
 struct SystemRunConfig {
   u32 clusters = 1;  ///< G: tile-grid shards running concurrently
   /// Per-cluster run configuration (variant, codegen options, cluster
-  /// shape, seed, verification, hang guard). seed seeds cluster 0's shard;
-  /// cluster g uses system_cluster_seed(seed, g).
+  /// shape, seed, verification, hang guard). seed seeds cluster 0's first
+  /// tile; tile t of cluster g uses system_tile_seed(seed, g, t). The hang
+  /// guard (run.max_cycles) budgets each tile round: the whole run must
+  /// finish within run.max_cycles * tiles.
   RunConfig run{};
   HbmConfig hbm{};
   /// Arbitrate shared-memory bandwidth (see SystemConfig::hbm_limit; forced
   /// off at G=1 either way).
   bool hbm_limit = true;
-  /// Tick clusters on a worker pool (per-cycle HBM barrier) instead of
+  /// Tick clusters on a worker pool (per-boundary HBM barrier) instead of
   /// serially. Results are bit-identical either way.
   bool parallel = false;
   /// Worker count when parallel (0 = SARIS_SWEEP_THREADS / hardware
   /// concurrency, clamped to G).
   u32 threads = 0;
   u64 arena_bytes = 16ull << 20;  ///< per-cluster shared-memory window
+  /// T: tiles streamed back-to-back through every cluster (>= 1). Tile 0 of
+  /// each cluster is staged up front; later tiles restage on a re-armed
+  /// cluster the moment the previous tile drains.
+  u32 tiles = 1;
+  /// Batched-barrier ticking: run up to this many cycles between the
+  /// System's serial synchronization points when legal (see
+  /// System::run_until — demand-free spans, or the whole run when the
+  /// frontend is unarbitrated). 1 = per-cycle. Bit-identical for any value.
+  u32 batch = 1;
 };
 
 struct SystemRunMetrics {
-  /// Full single-cluster metrics per cluster, in cluster-id order.
-  /// step_wall_seconds is the whole system loop's wall clock (clusters tick
-  /// interleaved, so per-cluster host time is not separable).
+  // ---- single-tile view (tile 0 of every cluster — exactly the fields a
+  // ---- tiles = 1 run always had, unchanged) ----
+  /// Full single-cluster metrics of each cluster's FIRST tile, in
+  /// cluster-id order (the whole per-tile matrix is in tiles_metrics).
+  /// step_wall_seconds is the whole system loop's wall clock (clusters
+  /// tick interleaved, so per-cluster host time is not separable).
   std::vector<RunMetrics> per_cluster;
-  /// Per-cluster compute window (cycles to that cluster's own halt; equals
-  /// per_cluster[g].cycles).
+  /// Per-cluster first-tile compute window (cycles to that cluster's own
+  /// halt; equals per_cluster[g].cycles).
   std::vector<Cycle> compute_window;
-  /// Per-cluster tile latency: cycles until the cluster both halted and
-  /// drained its DMA — the simulated analogue of the analytic t_tile.
+  /// Per-cluster first-tile latency: cycles until the cluster both halted
+  /// and drained its DMA — the simulated analogue of the analytic t_tile.
   std::vector<Cycle> tile_done;
 
-  Cycle cycles = 0;          ///< system window: max over tile_done
-  Cycle compute_cycles = 0;  ///< max over compute_window
-  u64 flops = 0;
-  u64 dma_bytes = 0;
+  // ---- per-(cluster, tile) matrix, [g][t] ----
+  u32 tiles = 1;
+  /// Full RunMetrics per tile (tile t of cluster g verified against its
+  /// own seed's golden reference).
+  std::vector<std::vector<RunMetrics>> tiles_metrics;
+  /// Cluster-local compute window of each tile (staging -> own halt).
+  std::vector<std::vector<Cycle>> tiles_window;
+  /// Cluster-local tile latency (staging -> halt + DMA drain).
+  std::vector<std::vector<Cycle>> tiles_latency;
+  /// System cycle at which each tile was staged / completed. Restaging is a
+  /// zero-time host operation, so tiles_start[g][t] ==
+  /// tiles_done[g][t-1]; both stamps are batch-independent (derived from
+  /// the cluster's own tick count, not the batched system clock).
+  std::vector<std::vector<Cycle>> tiles_start;
+  std::vector<std::vector<Cycle>> tiles_done_sys;
+  /// HBM bytes granted to / word grants denied for the cluster's port
+  /// during each tile (0 when the frontend is pass-through).
+  std::vector<std::vector<u64>> tiles_hbm_bytes;
+  std::vector<std::vector<u64>> tiles_hbm_denied;
+
+  Cycle cycles = 0;          ///< system window: last tile_done of any cluster
+  Cycle compute_cycles = 0;  ///< max over every tile's compute window
+  u64 flops = 0;             ///< summed over all clusters and tiles
+  u64 dma_bytes = 0;         ///< summed over all clusters and tiles
   double step_wall_seconds = 0.0;
 
   // HBM frontend statistics (all zero when the frontend is pass-through).
   double hbm_bytes_per_cycle = 0.0;  ///< offered bandwidth
-  double hbm_utilization = 0.0;      ///< granted / offered over the run
+  /// Granted fraction of the bandwidth offered over the system window
+  /// (<= 1 by construction — measured against the frontend's fixed-point
+  /// budget).
+  double hbm_utilization = 0.0;
   u64 hbm_granted_bytes = 0;
   u64 hbm_denied_grants = 0;  ///< word grants refused (backpressure events)
+  /// Phase split of hbm_utilization (both <= 1, measured against the
+  /// frontend's fixed-point budget over windows that contain their bytes):
+  /// first-tile = tile-0 traffic over [0, last cluster's tile-0
+  /// completion]; steady = tiles >= 2 traffic over [first cluster's
+  /// tile-0 completion, end] (0 when tiles < 2; clamped — credits banked
+  /// just before the window, at most one cap per port, may be spent inside
+  /// it). Steady-state
+  /// runs keep every cluster's reload traffic in flight, so
+  /// hbm_util_steady is the number the paper's scale-out contention story
+  /// is about.
+  double hbm_util_first_tile = 0.0;
+  double hbm_util_steady = 0.0;
 
-  /// System FPU utilization: useful FPU issues per core-cycle of the system
-  /// window.
+  /// Inter-tile reload gap: cycles cluster g spends between tile t-1's
+  /// compute-window close and tile t's staging (t >= 1) — the DMA drain
+  /// tail the reload waits out, since restaging itself is instantaneous.
+  /// Equals tiles_latency[g][t-1] - tiles_window[g][t-1].
+  Cycle reload_gap(u32 g, u32 t) const;
+  /// Mean reload gap over every (g, t >= 1) pair; 0 when tiles < 2.
+  double mean_reload_gap() const;
+
+  /// System FPU utilization: useful FPU issues (all tiles) per core-cycle
+  /// of the system window.
   double fpu_util() const;
 };
 
@@ -74,21 +144,28 @@ struct SystemRunMetrics {
 /// (cluster 0 keeps `seed` itself — the G=1 bit-identity anchor).
 u64 system_cluster_seed(u64 seed, u32 g);
 
-/// Execute stage: stage ios[g] into cluster g, run the interleaved cycle
-/// loop (parallel when cfg.parallel), verify each cluster against
-/// goldens[g] (or recompute from its io), extract metrics. `sys` must be
-/// freshly constructed and shaped like cfg; ios must have one entry per
-/// cluster. goldens may be empty (= all null).
+/// The seed for tile t of cluster g; t = 0 reduces to
+/// system_cluster_seed(seed, g), so single-tile runs are unchanged.
+u64 system_tile_seed(u64 seed, u32 g, u32 t);
+
+/// Execute stage: stage ios[g * cfg.tiles + t] into cluster g as its tile
+/// t, run the interleaved cycle loop (parallel when cfg.parallel, batched
+/// when cfg.batch > 1), verify each tile against goldens[g * cfg.tiles + t]
+/// (or recompute from its io), extract per-tile metrics. Clusters are
+/// re-armed in place between tiles (and up front, so `sys` may be reused
+/// across calls); ios must have one entry per (cluster, tile). goldens may
+/// be empty (= all null).
 SystemRunMetrics execute_system_kernel(const CompiledKernel& ck, System& sys,
                                        const SystemRunConfig& cfg,
                                        std::vector<KernelIO>& ios,
                                        const std::vector<const Grid<>*>&
                                            goldens = {});
 
-/// Run one time iteration of `sc` on a fresh G-cluster system with seeded
-/// pseudo-random per-cluster data; compiles once through the global
-/// PlanCache (fetched per cluster, so the cache footer shows 1 compile + G-1
-/// hits for the cell) and reuses memoized golden references per shard seed.
+/// Run cfg.tiles time iterations of `sc` per cluster on a G-cluster system
+/// with seeded pseudo-random per-(cluster, tile) data; compiles once
+/// through the global PlanCache (fetched per cluster, so the cache footer
+/// shows 1 compile + G-1 hits for the cell) and reuses memoized golden
+/// references per tile seed.
 SystemRunMetrics run_system_kernel(const StencilCode& sc,
                                    const SystemRunConfig& cfg);
 

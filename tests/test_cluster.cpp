@@ -146,6 +146,81 @@ TEST(Cluster, DeterministicCycleCounts) {
   EXPECT_GT(a, 0u);
 }
 
+TEST(Cluster, RearmIsBitIdenticalToFreshConstruction) {
+  // Run a deterministic multi-core program twice on ONE cluster with a
+  // rearm() in between, and once on a fresh cluster: cycle counts, per-core
+  // performance counters, icache hit/miss totals, TCDM statistics, and
+  // architectural results must all be identical — the re-arm contract the
+  // multi-tile System streaming relies on.
+  auto load = [](Cluster& cl) {
+    for (u32 c = 0; c < cl.num_cores(); ++c) {
+      ProgramBuilder b;
+      b.li(x(5), 0);
+      b.li(x(6), static_cast<i32>(40 + 7 * c));
+      b.li(x(8), static_cast<i32>(4096 + 64 * c));
+      b.bind("loop");
+      b.fmadd_d(f(4), f(4), f(4), f(4));
+      b.sw(x(5), x(8), 0);
+      b.lw(x(7), x(8), 0);
+      b.addi(x(5), x(5), 1);
+      b.bne(x(5), x(6), "loop");
+      b.barrier();
+      b.halt();
+      cl.core(c).load_program(b.build());
+    }
+  };
+  struct Snapshot {
+    Cycle cycles;
+    std::vector<u64> fp_instrs, int_instrs, fpu_idle, icache_miss,
+        icache_hit;
+    u64 tcdm_accesses, tcdm_conflicts;
+    std::vector<u32> x7;
+  };
+  auto snap = [&](Cluster& cl, Cycle cycles) {
+    Snapshot s{};
+    s.cycles = cycles;
+    for (u32 c = 0; c < cl.num_cores(); ++c) {
+      const CorePerf& p = cl.core(c).perf();
+      s.fp_instrs.push_back(p.fp_instrs);
+      s.int_instrs.push_back(p.int_instrs);
+      s.fpu_idle.push_back(p.fpu_idle_empty);
+      s.icache_miss.push_back(cl.core(c).icache().misses());
+      s.icache_hit.push_back(cl.core(c).icache().hits());
+      s.x7.push_back(cl.core(c).xreg(7));
+    }
+    s.tcdm_accesses = cl.tcdm().total_accesses();
+    s.tcdm_conflicts = cl.tcdm().total_conflicts();
+    return s;
+  };
+  auto eq = [](const Snapshot& a, const Snapshot& b) {
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.fp_instrs, b.fp_instrs);
+    EXPECT_EQ(a.int_instrs, b.int_instrs);
+    EXPECT_EQ(a.fpu_idle, b.fpu_idle);
+    EXPECT_EQ(a.icache_miss, b.icache_miss);
+    EXPECT_EQ(a.icache_hit, b.icache_hit);
+    EXPECT_EQ(a.tcdm_accesses, b.tcdm_accesses);
+    EXPECT_EQ(a.tcdm_conflicts, b.tcdm_conflicts);
+    EXPECT_EQ(a.x7, b.x7);
+  };
+
+  Cluster reused;
+  load(reused);
+  Snapshot first = snap(reused, reused.run_until_halted());
+  reused.rearm();
+  EXPECT_EQ(reused.now(), 0u);
+  EXPECT_FALSE(reused.all_halted());
+  load(reused);
+  Snapshot rearmed = snap(reused, reused.run_until_halted());
+
+  Cluster fresh;
+  load(fresh);
+  Snapshot ref = snap(fresh, fresh.run_until_halted());
+
+  eq(first, ref);
+  eq(rearmed, ref);
+}
+
 TEST(Cluster, StepAdvancesTime) {
   Cluster cl;
   EXPECT_EQ(cl.now(), 0u);

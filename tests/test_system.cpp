@@ -3,6 +3,7 @@
 // pipeline, and serial-vs-parallel cluster-ticking determinism.
 #include <gtest/gtest.h>
 
+#include "runtime/plan_cache.hpp"
 #include "runtime/sweep.hpp"
 #include "stencil/codes.hpp"
 #include "system/system_runner.hpp"
@@ -236,12 +237,273 @@ TEST(SystemRunner, ContentionStretchesTileLatency) {
   }
 }
 
+// ---- HBM rate fixed point (utilization can never exceed the configured
+// ---- bandwidth) --------------------------------------------------------
+
+TEST(HbmFrontend, RateFpIsFlooredFromTheConfiguredBandwidth) {
+  HbmConfig hbm;  // 51.2 B/cycle at one device: 51.2 * 65536 = 3355443.2
+  EXPECT_EQ(hbm.bytes_per_cycle_fp_for_clusters(1), 3355443u);
+  // A rate whose 16.16 fraction rounds UP under llround: 3.3 Gb/s/pin is
+  // 52.8 B/cycle = 3460300.8 in 16.16 — the old llround granted 3460301
+  // (more than configured) and let utilization() exceed 1.
+  hbm.gbps_per_pin = 3.3;
+  EXPECT_EQ(hbm.bytes_per_cycle_fp_for_clusters(1), 3460300u);
+  EXPECT_LE(static_cast<double>(hbm.bytes_per_cycle_fp_for_clusters(1)),
+            hbm.bytes_per_cycle_for_clusters(1) * 65536.0);
+}
+
+TEST(HbmFrontend, UtilizationNeverExceedsOneOnSaturatedRuns) {
+  for (double gbps : {3.2, 3.3, 1.7}) {
+    HbmConfig hbm;
+    hbm.gbps_per_pin = gbps;
+    MainMemory mem(4ull << 20);
+    HbmFrontend fe(mem, hbm, 1, 4ull << 20, /*limited=*/true);
+    fe.port(0).set_manual_demand(true);
+    // Drain every credit every cycle for long enough that a rate biased
+    // even half a 16.16 ulp high would push the ratio past 1.
+    for (int c = 0; c < 200000; ++c) {
+      fe.begin_cycle();
+      while (fe.port(0).acquire_word()) {
+      }
+    }
+    EXPECT_LE(fe.utilization(), 1.0) << "gbps_per_pin=" << gbps;
+    EXPECT_GT(fe.utilization(), 0.99) << "gbps_per_pin=" << gbps;
+  }
+}
+
+// ---- multi-tile streaming: cluster re-arm ------------------------------
+
+TEST(SystemRunner, RearmedTilesBitIdenticalToFreshClusters) {
+  // Tile t >= 2 runs on a re-armed cluster; with G=1 (no contention) every
+  // tile must be bit-identical to a fresh run_kernel of the same (seed,
+  // kernel) — the acceptance contract for re-arm without reconstruction.
+  const StencilCode& sc = code_by_name("jacobi_2d");
+  for (KernelVariant v : {KernelVariant::kBase, KernelVariant::kSaris}) {
+    SystemRunConfig cfg;
+    cfg.clusters = 1;
+    cfg.tiles = 3;
+    cfg.run.variant = v;
+    SystemRunMetrics sm = run_system_kernel(sc, cfg);
+    ASSERT_EQ(sm.tiles, 3u);
+    ASSERT_EQ(sm.tiles_metrics[0].size(), 3u);
+    for (u32 t = 0; t < 3; ++t) {
+      RunConfig rcfg;
+      rcfg.variant = v;
+      rcfg.seed = system_tile_seed(1, 0, t);
+      RunMetrics fresh = run_kernel(sc, rcfg);
+      std::string why;
+      EXPECT_TRUE(metrics_bit_identical(fresh, sm.tiles_metrics[0][t], &why))
+          << variant_name(v) << " tile " << t << ": " << why;
+    }
+    // Back-compat view: per_cluster/compute_window/tile_done are tile 0.
+    std::string why;
+    EXPECT_TRUE(
+        metrics_bit_identical(sm.per_cluster[0], sm.tiles_metrics[0][0], &why))
+        << why;
+    EXPECT_EQ(sm.compute_window[0], sm.tiles_window[0][0]);
+    EXPECT_EQ(sm.tile_done[0], sm.tiles_latency[0][0]);
+  }
+}
+
+TEST(SystemRunner, TileStampsAreConsistent) {
+  const StencilCode& sc = code_by_name("jacobi_2d");
+  SystemRunConfig cfg;
+  cfg.clusters = 2;
+  cfg.tiles = 3;
+  SystemRunMetrics sm = run_system_kernel(sc, cfg);
+  Cycle last = 0;
+  for (u32 g = 0; g < 2; ++g) {
+    for (u32 t = 0; t < 3; ++t) {
+      // Every stamp recorded (no "not yet" sentinel leaks), windows close
+      // before drains, and restaging is instantaneous: tile t starts at the
+      // system cycle tile t-1 completed.
+      EXPECT_GE(sm.tiles_window[g][t], 1u);
+      EXPECT_LE(sm.tiles_window[g][t], sm.tiles_latency[g][t]);
+      EXPECT_LT(sm.tiles_latency[g][t], 100'000'000u);
+      EXPECT_EQ(sm.tiles_done_sys[g][t],
+                sm.tiles_start[g][t] + sm.tiles_latency[g][t]);
+      if (t > 0) {
+        EXPECT_EQ(sm.tiles_start[g][t], sm.tiles_done_sys[g][t - 1]);
+        EXPECT_EQ(sm.reload_gap(g, t),
+                  sm.tiles_latency[g][t - 1] - sm.tiles_window[g][t - 1]);
+      }
+    }
+    last = std::max(last, sm.tiles_done_sys[g][2]);
+  }
+  EXPECT_EQ(sm.cycles, last);
+  EXPECT_GE(sm.mean_reload_gap(), 0.0);
+  // Distinct per-(cluster, tile) seeds actually reached the data.
+  EXPECT_NE(sm.tiles_metrics[0][0].max_rel_err,
+            sm.tiles_metrics[0][1].max_rel_err);
+  EXPECT_NE(sm.tiles_metrics[0][0].max_rel_err,
+            sm.tiles_metrics[1][0].max_rel_err);
+  // Utilization ratios are measured against the dealt budget: <= 1 always.
+  EXPECT_LE(sm.hbm_utilization, 1.0);
+  EXPECT_LE(sm.hbm_util_first_tile, 1.0);
+  EXPECT_LE(sm.hbm_util_steady, 1.0);
+  EXPECT_GT(sm.hbm_util_steady, 0.0);
+}
+
+TEST(SystemRunner, ReusedSystemBitIdenticalToFresh) {
+  // execute_system_kernel promises `sys` may be reused across calls: the
+  // up-front re-arm covers the clusters AND the HBM frontend (credits,
+  // rotation pointer, carry, statistics), so a second run's grant schedule
+  // and metrics match a fresh System's exactly.
+  const StencilCode& sc = code_by_name("jacobi_2d");
+  SystemRunConfig cfg;
+  cfg.clusters = 3;
+  auto make_ios = [&]() {
+    std::vector<KernelIO> ios(cfg.clusters);
+    for (u32 g = 0; g < cfg.clusters; ++g) {
+      u64 seed = system_tile_seed(cfg.run.seed, g, 0);
+      for (u32 i = 0; i < sc.n_inputs; ++i) {
+        ios[g].inputs.emplace_back(sc.tile_nx, sc.tile_ny, sc.tile_nz);
+        ios[g].inputs.back().fill_random(seed + i);
+      }
+      ios[g].coeffs = sc.default_coeffs();
+    }
+    return ios;
+  };
+  std::shared_ptr<const CompiledKernel> ck =
+      PlanCache::global().get_or_compile(sc, cfg.run.variant, cfg.run.cg,
+                                         cfg.run.cluster.num_cores,
+                                         cfg.run.cluster.tcdm_bytes);
+  SystemConfig scfg;
+  scfg.clusters = cfg.clusters;
+  scfg.cluster = cfg.run.cluster;
+  scfg.hbm = cfg.hbm;
+  System reused(scfg);
+  std::vector<KernelIO> ios1 = make_ios();
+  SystemRunMetrics first = execute_system_kernel(*ck, reused, cfg, ios1);
+  std::vector<KernelIO> ios2 = make_ios();
+  SystemRunMetrics second = execute_system_kernel(*ck, reused, cfg, ios2);
+  for (u32 g = 0; g < cfg.clusters; ++g) {
+    std::string why;
+    EXPECT_TRUE(metrics_bit_identical(first.per_cluster[g],
+                                      second.per_cluster[g], &why))
+        << "cluster " << g << ": " << why;
+  }
+  EXPECT_EQ(first.tile_done, second.tile_done);
+  EXPECT_EQ(first.hbm_granted_bytes, second.hbm_granted_bytes);
+  EXPECT_EQ(first.hbm_denied_grants, second.hbm_denied_grants);
+  EXPECT_EQ(first.hbm_utilization, second.hbm_utilization);
+}
+
+TEST(SystemRunner, MultiTileSerialVsParallelBitIdentical) {
+  const StencilCode& sc = code_by_name("jacobi_2d");
+  SystemRunConfig cfg;
+  cfg.clusters = 3;
+  cfg.tiles = 3;
+  cfg.run.variant = KernelVariant::kSaris;
+  SystemRunMetrics serial = run_system_kernel(sc, cfg);
+  cfg.parallel = true;
+  cfg.threads = 2;  // fewer workers than clusters on purpose
+  SystemRunMetrics par = run_system_kernel(sc, cfg);
+  for (u32 g = 0; g < 3; ++g) {
+    for (u32 t = 0; t < 3; ++t) {
+      std::string why;
+      EXPECT_TRUE(metrics_bit_identical(serial.tiles_metrics[g][t],
+                                        par.tiles_metrics[g][t], &why))
+          << "cluster " << g << " tile " << t << ": " << why;
+    }
+    EXPECT_EQ(serial.tiles_latency[g], par.tiles_latency[g]);
+    EXPECT_EQ(serial.tiles_done_sys[g], par.tiles_done_sys[g]);
+    EXPECT_EQ(serial.tiles_hbm_bytes[g], par.tiles_hbm_bytes[g]);
+    EXPECT_EQ(serial.tiles_hbm_denied[g], par.tiles_hbm_denied[g]);
+  }
+  EXPECT_EQ(serial.hbm_granted_bytes, par.hbm_granted_bytes);
+  EXPECT_EQ(serial.hbm_denied_grants, par.hbm_denied_grants);
+  EXPECT_EQ(serial.cycles, par.cycles);
+}
+
+// ---- batched-barrier ticking -------------------------------------------
+
+TEST(SystemRunner, BatchedTickingBitIdenticalToPerCycle) {
+  const StencilCode& sc = code_by_name("jacobi_2d");
+  for (u32 clusters : {3u, 4u}) {
+    SystemRunConfig cfg;
+    cfg.clusters = clusters;
+    cfg.tiles = 2;
+    SystemRunMetrics ref = run_system_kernel(sc, cfg);  // batch = 1
+    for (bool parallel : {false, true}) {
+      SystemRunConfig b = cfg;
+      b.batch = 8;
+      b.parallel = parallel;
+      b.threads = parallel ? 2 : 0;
+      SystemRunMetrics got = run_system_kernel(sc, b);
+      for (u32 g = 0; g < clusters; ++g) {
+        for (u32 t = 0; t < 2; ++t) {
+          std::string why;
+          EXPECT_TRUE(metrics_bit_identical(ref.tiles_metrics[g][t],
+                                            got.tiles_metrics[g][t], &why))
+              << "G=" << clusters << (parallel ? " par" : " ser")
+              << " cluster " << g << " tile " << t << ": " << why;
+        }
+        EXPECT_EQ(ref.tiles_latency[g], got.tiles_latency[g]);
+        EXPECT_EQ(ref.tiles_done_sys[g], got.tiles_done_sys[g]);
+        EXPECT_EQ(ref.tiles_hbm_bytes[g], got.tiles_hbm_bytes[g]);
+        EXPECT_EQ(ref.tiles_hbm_denied[g], got.tiles_hbm_denied[g]);
+      }
+      EXPECT_EQ(ref.hbm_granted_bytes, got.hbm_granted_bytes);
+      EXPECT_EQ(ref.hbm_denied_grants, got.hbm_denied_grants);
+      EXPECT_EQ(ref.cycles, got.cycles);
+      EXPECT_EQ(ref.hbm_utilization, got.hbm_utilization);
+    }
+  }
+}
+
+// ---- run_until edge cases ----------------------------------------------
+
+TEST(System, RunUntilImmediateDoneNeverTicksNorCallsAfterTick) {
+  // A cluster whose done(g) holds before its first tick must not be ticked
+  // and must not reach after_tick — callers seed such clusters' metrics
+  // explicitly instead of reading stale zeros (the old cycle-0 sentinel
+  // bug deflated system cycle counts through exactly this path).
+  SystemConfig cfg;
+  cfg.clusters = 2;
+  System sys(cfg);
+  u32 after_ticks = 0;
+  Cycle elapsed = sys.run_until([](u32) { return true; }, /*threads=*/1,
+                                /*max_cycles=*/10, "immediate",
+                                [&](u32) { ++after_ticks; });
+  EXPECT_EQ(elapsed, 0u);
+  EXPECT_EQ(after_ticks, 0u);
+  EXPECT_EQ(sys.cluster(0).now(), 0u);
+}
+
+TEST(SystemDeath, ParallelOverrunRaisesTheLabeledError) {
+  // The hang guard used to SARIS_CHECK inside the barrier's noexcept
+  // completion step; the overrun is now latched there and raised from the
+  // owning thread after the pool joins, with the same labeled message the
+  // serial path gives.
+  const StencilCode& sc = code_by_name("jacobi_2d");
+  SystemRunConfig cfg;
+  cfg.clusters = 2;
+  cfg.parallel = true;
+  cfg.threads = 2;
+  cfg.run.max_cycles = 50;  // far below any real tile latency
+  EXPECT_DEATH(run_system_kernel(sc, cfg), "did not finish within");
+}
+
+TEST(SystemDeath, SerialOverrunStillRaisesTheLabeledError) {
+  const StencilCode& sc = code_by_name("jacobi_2d");
+  SystemRunConfig cfg;
+  cfg.clusters = 2;
+  cfg.run.max_cycles = 50;
+  EXPECT_DEATH(run_system_kernel(sc, cfg), "did not finish within");
+}
+
 TEST(SystemRunner, ShardSeedsAreDistinctAndAnchored) {
   // Cluster 0 keeps the run seed verbatim (the G=1 bit-identity anchor);
   // other shards get distinct, well-separated streams.
   EXPECT_EQ(system_cluster_seed(1, 0), 1u);
   EXPECT_NE(system_cluster_seed(1, 1), system_cluster_seed(1, 2));
   EXPECT_NE(system_cluster_seed(1, 1), 1u);
+  // Tile 0 anchors to the cluster seed; later tiles get distinct streams.
+  EXPECT_EQ(system_tile_seed(1, 0, 0), 1u);
+  EXPECT_EQ(system_tile_seed(1, 2, 0), system_cluster_seed(1, 2));
+  EXPECT_NE(system_tile_seed(1, 0, 1), system_tile_seed(1, 0, 2));
+  EXPECT_NE(system_tile_seed(1, 1, 1), system_tile_seed(1, 0, 1));
   // Shards see different data, so their compute windows generally differ
   // from byte-identical clones (spot-check the run actually used them).
   const StencilCode& sc = code_by_name("jacobi_2d");
