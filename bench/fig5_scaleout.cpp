@@ -24,8 +24,16 @@
 //
 //   fig5_scaleout [--simulate G] [--tiles T] [--batch k] [--parallel]
 //                 [--threads N] [--codes a,b,...] [--json PATH]
+//                 [--fault-seed S]
 // (--threads N implies --parallel; --parallel alone resolves the worker
 // count like the sweep engine: SARIS_SWEEP_THREADS, then hardware.)
+//
+// --fault-seed S arms a seeded fault storm (fault/fault_plan.hpp) on every
+// simulated cell: one injected cluster stall kills 1 of the G clusters
+// mid-run, the System quarantines it, and the run completes on the
+// survivors — the quarantined shard set is reported per cell. Cells with a
+// quarantined cluster measure the degraded machine, so the analytic
+// comparison columns read as "what the fault cost", not as model error.
 #include <cerrno>
 #include <cmath>
 #include <cstdio>
@@ -35,6 +43,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "fault/fault_plan.hpp"
 #include "report/csv.hpp"
 #include "report/table.hpp"
 #include "runtime/plan_cache.hpp"
@@ -47,6 +56,10 @@
 namespace {
 
 using namespace saris;
+
+/// "No cycle recorded" sentinel a quarantined cluster leaves in the
+/// per-tile cycle matrices (see system/system_runner.cpp).
+constexpr Cycle kNotYet = ~Cycle{0};
 
 /// Analytic per-tile latency for the same G-cluster machine the simulator
 /// builds: compute window stretched by measured imbalance, memory time at
@@ -89,6 +102,7 @@ struct SimRow {
   double hbm_util;
   u64 hbm_denied;
   double dma_util;
+  u32 quarantined;  ///< clusters lost to injected faults (0 without them)
 };
 
 struct SteadyRow {
@@ -103,11 +117,13 @@ struct SteadyRow {
 };
 
 /// Mean per-tile latency over the steady tiles (t >= 1) of every cluster.
+/// Abandoned tiles (quarantined cluster: kNotYet sentinel) are skipped.
 double steady_tile_mean(const SystemRunMetrics& sm) {
   double sum = 0.0;
   u64 n = 0;
   for (u32 g = 0; g < sm.tiles_latency.size(); ++g) {
     for (u32 t = 1; t < sm.tiles; ++t) {
+      if (sm.tiles_latency[g][t] == kNotYet) continue;
       sum += static_cast<double>(sm.tiles_latency[g][t]);
       ++n;
     }
@@ -117,12 +133,13 @@ double steady_tile_mean(const SystemRunMetrics& sm) {
 
 double first_tile_mean(const SystemRunMetrics& sm) {
   double sum = 0.0;
+  u64 n = 0;
   for (u32 g = 0; g < sm.tiles_latency.size(); ++g) {
+    if (sm.tiles_latency[g][0] == kNotYet) continue;
     sum += static_cast<double>(sm.tiles_latency[g][0]);
+    ++n;
   }
-  return sm.tiles_latency.empty()
-             ? 0.0
-             : sum / static_cast<double>(sm.tiles_latency.size());
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
 }
 
 }  // namespace
@@ -134,6 +151,8 @@ int main(int argc, char** argv) {
   u32 batch = 1;
   bool parallel = false;
   u32 threads = 0;
+  u64 fault_seed = 0;
+  bool faulted = false;
   const char* json_path = "BENCH_fig5_sim.json";
   const char* steady_json_path = "BENCH_fig5_steady.json";
   std::vector<std::string> only_codes;
@@ -149,6 +168,17 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = parse_u32("--threads", argv[++i], 1);
       parallel = true;  // an explicit worker count implies parallel ticking
+    } else if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      errno = 0;
+      fault_seed = std::strtoull(argv[i + 1], &end, 10);
+      if (end == argv[i + 1] || *end != '\0' || errno == ERANGE) {
+        std::fprintf(stderr, "--fault-seed needs an integer, got \"%s\"\n",
+                     argv[i + 1]);
+        return 2;
+      }
+      ++i;
+      faulted = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--steady-json") == 0 && i + 1 < argc) {
@@ -167,13 +197,13 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--simulate G] [--tiles T] [--batch k] "
                    "[--parallel] [--threads N] [--codes a,b,...] "
-                   "[--json PATH] [--steady-json PATH]\n",
+                   "[--json PATH] [--steady-json PATH] [--fault-seed S]\n",
                    argv[0]);
       return 2;
     }
   }
-  if ((tiles > 1 || batch > 1) && simulate == 0) {
-    std::fprintf(stderr, "--tiles/--batch need --simulate G\n");
+  if ((tiles > 1 || batch > 1 || faulted) && simulate == 0) {
+    std::fprintf(stderr, "--tiles/--batch/--fault-seed need --simulate G\n");
     return 2;
   }
 
@@ -283,8 +313,29 @@ int main(int argc, char** argv) {
         sc_cfg.threads = threads;
         sc_cfg.tiles = tiles;
         sc_cfg.batch = batch;
+        FaultPlan fplan;
+        if (faulted) {
+          // One injected stall kills one of the G clusters mid-run; the
+          // survivors finish under quarantine. Same storm for every cell
+          // (pure function of the seed), so cells are comparable.
+          FaultStormConfig fs;
+          fs.clusters = simulate;
+          fs.cluster_stalls = 1;
+          fs.horizon = 4000;
+          fplan = FaultPlan::storm(fs, fault_seed);
+          sc_cfg.run.faults = &fplan;
+        }
         SystemRunMetrics sm = run_system_kernel(sc, sc_cfg);
-        if (simulate == 1) {
+        u32 n_quarantined = 0;
+        for (u32 g = 0; g < simulate; ++g) {
+          if (sm.quarantined[g]) {
+            ++n_quarantined;
+            std::printf("   %s/%s: cluster %u quarantined — %s\n",
+                        sc.name.c_str(), variant_name(variants[v]), g,
+                        sm.errors[g].c_str());
+          }
+        }
+        if (simulate == 1 && !faulted) {
           // Acceptance self-check: a 1-cluster simulated run must be
           // bit-identical to the single-cluster pipeline that produced the
           // analytic inputs above.
@@ -308,8 +359,15 @@ int main(int argc, char** argv) {
         double first_util = sm.tiles > 1 ? sm.hbm_util_first_tile
                                          : sm.hbm_utilization;
         for (u32 g = 0; g < simulate; ++g) {
-          first_round = std::max(first_round, sm.tile_done[g]);
-          first_compute = std::max(first_compute, sm.tiles_window[g][0]);
+          // A cluster quarantined before finishing its first tile leaves
+          // the kNotYet sentinel in these slots; it contributes nothing
+          // to the first-round maxima.
+          if (sm.tile_done[g] != kNotYet) {
+            first_round = std::max(first_round, sm.tile_done[g]);
+          }
+          if (sm.tiles_window[g][0] != kNotYet) {
+            first_compute = std::max(first_compute, sm.tiles_window[g][0]);
+          }
           first_denied += sm.tiles_hbm_denied[g][0];
         }
         sim_tile[v] = first_round;
@@ -320,7 +378,8 @@ int main(int argc, char** argv) {
         sim_rows.push_back(SimRow{sc.name, variant_name(variants[v]),
                                   simulate, first_round, first_compute,
                                   ana_tile[v], delta, first_util,
-                                  first_denied, solo[v]->dma_util});
+                                  first_denied, solo[v]->dma_util,
+                                  n_quarantined});
         if (tiles > 1) {
           steady_rows.push_back(
               SteadyRow{sc.name, variant_name(variants[v]),
@@ -347,10 +406,18 @@ int main(int argc, char** argv) {
         "geomean saris speedup at %u clusters: simulated %.2fx vs analytic "
         "%.2fx\n",
         simulate, geomean(sim_sp), geomean(ana_sp));
-    if (simulate == 1) {
+    if (simulate == 1 && !faulted) {
       std::printf("1-cluster simulated runs bit-identical to run_kernel: "
                   "all %zu cells OK\n",
                   sim_rows.size());
+    }
+    if (faulted) {
+      u32 worst = 0;
+      for (const SimRow& r : sim_rows) worst = std::max(worst, r.quarantined);
+      std::printf("fault storm (seed %llu): every cell completed degraded, "
+                  "at most %u of %u clusters quarantined\n",
+                  static_cast<unsigned long long>(fault_seed), worst,
+                  simulate);
     }
 
     std::FILE* f = std::fopen(json_path, "w");
@@ -371,13 +438,13 @@ int main(int argc, char** argv) {
           "\"sim_tile_cycles\": %llu, \"sim_compute_cycles\": %llu, "
           "\"analytic_tile_cycles\": %.1f, \"delta\": %.4f, "
           "\"hbm_utilization\": %.4f, \"hbm_denied_grants\": %llu, "
-          "\"dma_util\": %.4f}%s\n",
+          "\"dma_util\": %.4f, \"quarantined_clusters\": %u}%s\n",
           r.code.c_str(), r.variant,
           static_cast<unsigned long long>(r.sim_tile),
           static_cast<unsigned long long>(r.sim_compute), r.analytic_tile,
           r.delta, r.hbm_util,
           static_cast<unsigned long long>(r.hbm_denied), r.dma_util,
-          i + 1 < sim_rows.size() ? "," : "");
+          r.quarantined, i + 1 < sim_rows.size() ? "," : "");
     }
     std::fprintf(f,
                  "  ],\n  \"geomean_sim_speedup\": %.3f,\n"

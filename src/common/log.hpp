@@ -1,7 +1,13 @@
 // Lightweight logging and invariant-checking helpers.
 //
 // The simulator is deterministic; CHECK failures indicate a programming error
-// (broken invariant), not a recoverable condition, so they abort.
+// (broken invariant), not a recoverable condition, so they abort. Run-level
+// conditions of one job (verify miss, hang-guard overrun, bad user config,
+// injected fault) are NOT checks — they throw the typed, catchable SimError
+// (common/sim_error.hpp) instead. Both kinds of diagnostic, and every log
+// line, are prefixed with the calling thread's run-context tag
+// (common/run_context.hpp) so failures from sweep workers identify the job
+// that died.
 #pragma once
 
 #include <cstdio>

@@ -1,0 +1,35 @@
+#include "common/run_context.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace saris {
+
+namespace {
+thread_local RunContext g_context;
+}  // namespace
+
+const RunContext& current_run_context() { return g_context; }
+
+std::string run_context_tag() {
+  if (!g_context.active) return std::string();
+  std::ostringstream oss;
+  oss << g_context.code << "/" << g_context.variant
+      << " seed=" << g_context.seed;
+  if (g_context.cluster >= 0) oss << " g=" << g_context.cluster;
+  return oss.str();
+}
+
+RunContextScope::RunContextScope(std::string code, std::string variant,
+                                 u64 seed, i64 cluster)
+    : prev_(std::move(g_context)) {
+  g_context.active = true;
+  g_context.code = std::move(code);
+  g_context.variant = std::move(variant);
+  g_context.seed = seed;
+  g_context.cluster = cluster;
+}
+
+RunContextScope::~RunContextScope() { g_context = std::move(prev_); }
+
+}  // namespace saris

@@ -1,0 +1,72 @@
+#include "common/sim_error.hpp"
+
+#include <utility>
+
+#include "common/run_context.hpp"
+
+namespace saris {
+
+const char* sim_errc_name(SimErrc c) {
+  switch (c) {
+    case SimErrc::kNone: return "none";
+    case SimErrc::kVerifyFailed: return "verify-failed";
+    case SimErrc::kMaxCyclesExceeded: return "max-cycles-exceeded";
+    case SimErrc::kWallClockTimeout: return "wall-clock-timeout";
+    case SimErrc::kBadConfig: return "bad-config";
+    case SimErrc::kInjectedFault: return "injected-fault";
+    case SimErrc::kClusterStall: return "cluster-stall";
+  }
+  return "?";
+}
+
+bool sim_errc_retryable(SimErrc c) {
+  switch (c) {
+    case SimErrc::kVerifyFailed:
+    case SimErrc::kWallClockTimeout:
+    case SimErrc::kInjectedFault:
+    case SimErrc::kClusterStall:
+      return true;
+    case SimErrc::kNone:
+    case SimErrc::kMaxCyclesExceeded:
+    case SimErrc::kBadConfig:
+      return false;
+  }
+  return false;
+}
+
+SimError::SimError(SimErrc errc, std::string code, std::string variant,
+                   u64 seed, i64 cluster, Cycle cycle, std::string detail)
+    : errc_(errc),
+      code_(std::move(code)),
+      variant_(std::move(variant)),
+      seed_(seed),
+      cluster_(cluster),
+      cycle_(cycle),
+      detail_(std::move(detail)) {
+  std::ostringstream oss;
+  oss << "[" << sim_errc_name(errc_) << "]";
+  if (!code_.empty()) {
+    oss << " " << code_;
+    if (!variant_.empty()) oss << "/" << variant_;
+    oss << " seed=" << seed_;
+    if (cluster_ >= 0) oss << " g=" << cluster_;
+  }
+  if (cycle_ != 0) oss << " cycle=" << cycle_;
+  oss << ": " << detail_;
+  what_ = oss.str();
+}
+
+namespace {
+SimError from_context(SimErrc errc, Cycle cycle, std::string detail) {
+  const RunContext& ctx = current_run_context();
+  return SimError(errc, ctx.active ? ctx.code : std::string(),
+                  ctx.active ? ctx.variant : std::string(),
+                  ctx.active ? ctx.seed : 0, ctx.active ? ctx.cluster : -1,
+                  cycle, std::move(detail));
+}
+}  // namespace
+
+SimError::SimError(SimErrc errc, Cycle cycle, std::string detail)
+    : SimError(from_context(errc, cycle, std::move(detail))) {}
+
+}  // namespace saris

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/log.hpp"
+#include "fault/fault_plan.hpp"
 
 namespace saris {
 
@@ -132,6 +133,13 @@ void Dma::retire_responses() {
   // and the datapath port stays busy) and retires on a later cycle.
   auto try_retire = [&](u32 i) {
     if (!tcdm_.response_ready(ports_[i])) return;
+    // An injected word error rejects the main-memory write before the port
+    // sees it (no bandwidth credit consumed); the pending TCDM response is
+    // simply retried next cycle, exactly like a denied grant.
+    if (!out_[i].to_tcdm && faults_ &&
+        faults_->dma_deny(fault_cluster_, fault_now_)) {
+      return;
+    }
     if (!out_[i].to_tcdm && !mem_.acquire_word()) return;
     u64 data = tcdm_.take_response(ports_[i]);
     if (!out_[i].to_tcdm) {
@@ -168,7 +176,12 @@ void Dma::issue_words() {
     if (out_[i].in_flight || !tcdm_.port_idle(ports_[i])) return true;
     // Reads from main memory draw a word of memory bandwidth at issue time
     // (writes draw theirs at retire); once the port's grant budget for the
-    // cycle is gone, stop issuing entirely.
+    // cycle is gone, stop issuing entirely. An injected word error rejects
+    // the read the same way, before any credit is drawn.
+    if (cur_.to_tcdm && faults_ &&
+        faults_->dma_deny(fault_cluster_, fault_now_)) {
+      return false;
+    }
     if (cur_.to_tcdm && !mem_.acquire_word()) return false;
 
     Addr taddr = cur_.tcdm_addr +
@@ -205,10 +218,12 @@ void Dma::issue_words() {
   }
 }
 
-void Dma::tick(Cycle /*now*/) {
+void Dma::tick(Cycle now) {
   // Idle short-circuit: no job, no queue, nothing in flight — the phases
   // below would all no-op (and active_cycles_ is only counted with a job).
   if (!job_active_ && jobs_.empty() && words_outstanding_ == 0) return;
+
+  fault_now_ = fault_offset_ + now;
 
   // Phase 1: retire responses from last cycle's arbitration.
   retire_responses();

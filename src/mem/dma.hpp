@@ -18,6 +18,8 @@
 
 namespace saris {
 
+class FaultPlan;
+
 inline constexpr u32 kDmaWidthBytes = 64;       ///< 512-bit datapath
 inline constexpr u32 kDmaRowOverheadCycles = 1; ///< burst setup per row
 inline constexpr u32 kDmaJobQueueDepth = 16;
@@ -83,6 +85,21 @@ class Dma {
   /// have work — the same O(pending) trick as the TCDM arbiter.
   void tick(Cycle now);
 
+  /// Attach a fault-injection plan (fault/fault_plan.hpp): while one of the
+  /// plan's kDmaWordError windows is active for `cluster`, main-memory words
+  /// are rejected BEFORE the memory port sees them — no bandwidth credit is
+  /// consumed — and the engine retries them on later cycles. Null (the
+  /// default) and empty plans are bit-identical to no plan at all.
+  /// `cycle_offset` maps the engine's local clock into the plan's timeline:
+  /// the System runner re-arms clusters between tiles (resetting their
+  /// clocks) and rebinds with the cluster's accumulated tick count so plan
+  /// cycles stay monotonic. The binding survives reset().
+  void set_faults(FaultPlan* plan, u32 cluster, Cycle cycle_offset = 0) {
+    faults_ = plan;
+    fault_cluster_ = cluster;
+    fault_offset_ = cycle_offset;
+  }
+
   /// Test hook: route tick() through the original dense scan over all
   /// datapath ports. Used by the DMA-equivalence regression test and the
   /// dense-baseline simulator mode; results must be identical in both modes.
@@ -129,6 +146,10 @@ class Dma {
   Tcdm& tcdm_;
   std::unique_ptr<DirectMemoryPort> owned_port_;  ///< MainMemory-ctor only
   MemoryPort& mem_;
+  FaultPlan* faults_ = nullptr;
+  u32 fault_cluster_ = 0;
+  Cycle fault_offset_ = 0;
+  Cycle fault_now_ = 0;  ///< plan-timeline `now`, for mid-phase fault queries
   FixedQueue<DmaJob> jobs_;
   std::vector<u32> ports_;
   std::vector<Outstanding> out_;

@@ -5,38 +5,77 @@
 #include <utility>
 
 #include "common/log.hpp"
+#include "common/run_context.hpp"
+#include "common/sim_error.hpp"
+#include "fault/fault_plan.hpp"
 #include "runtime/plan_cache.hpp"
 #include "stencil/grid.hpp"
 #include "stencil/reference.hpp"
 
 namespace saris {
 
+// Artifact/config mismatches are recoverable per-job errors (kBadConfig),
+// not invariant violations: a sweep cell handed a bad user config must fail
+// typed so the rest of the sweep survives it.
 void check_artifact(const CompiledKernel& ck, Cluster& cluster,
                     const RunConfig& cfg, const KernelIO& io) {
   const StencilCode& sc = ck.code;
-  SARIS_CHECK(io.inputs.size() == sc.n_inputs,
-              sc.name << ": expected " << sc.n_inputs << " input arrays");
-  SARIS_CHECK(io.coeffs.size() == sc.n_coeffs,
-              sc.name << ": expected " << sc.n_coeffs << " coefficients");
+  if (io.inputs.size() != sc.n_inputs) {
+    SARIS_RAISE(SimErrc::kBadConfig, 0,
+                sc.name << ": expected " << sc.n_inputs << " input arrays, got "
+                        << io.inputs.size());
+  }
+  if (io.coeffs.size() != sc.n_coeffs) {
+    SARIS_RAISE(SimErrc::kBadConfig, 0,
+                sc.name << ": expected " << sc.n_coeffs
+                        << " coefficients, got " << io.coeffs.size());
+  }
   u32 n = cluster.num_cores();
-  SARIS_CHECK(n == ck.n_cores, sc.name << ": cluster has " << n
-                                       << " cores but the artifact was "
-                                          "compiled for "
-                                       << ck.n_cores);
-  SARIS_CHECK(cluster.tcdm().size_bytes() == ck.tcdm_bytes,
-              sc.name << ": cluster TCDM is " << cluster.tcdm().size_bytes()
-                      << " B but the artifact was compiled for "
-                      << ck.tcdm_bytes << " B");
-  SARIS_CHECK(cfg.variant == ck.variant,
-              sc.name << ": config asks for " << variant_name(cfg.variant)
-                      << " but the artifact was compiled as "
-                      << variant_name(ck.variant)
-                      << " — recompile instead of reusing it");
-  SARIS_CHECK(cfg.cg == ck.options,
-              sc.name << "/" << variant_name(ck.variant)
-                      << ": CodegenOptions differ from the ones the "
-                         "artifact was compiled with — recompile instead "
-                         "of reusing it");
+  if (n != ck.n_cores) {
+    SARIS_RAISE(SimErrc::kBadConfig, 0,
+                sc.name << ": cluster has " << n
+                        << " cores but the artifact was compiled for "
+                        << ck.n_cores);
+  }
+  if (cluster.tcdm().size_bytes() != ck.tcdm_bytes) {
+    SARIS_RAISE(SimErrc::kBadConfig, 0,
+                sc.name << ": cluster TCDM is " << cluster.tcdm().size_bytes()
+                        << " B but the artifact was compiled for "
+                        << ck.tcdm_bytes << " B");
+  }
+  if (cfg.variant != ck.variant) {
+    SARIS_RAISE(SimErrc::kBadConfig, 0,
+                sc.name << ": config asks for " << variant_name(cfg.variant)
+                        << " but the artifact was compiled as "
+                        << variant_name(ck.variant)
+                        << " — recompile instead of reusing it");
+  }
+  if (!(cfg.cg == ck.options)) {
+    SARIS_RAISE(SimErrc::kBadConfig, 0,
+                sc.name << "/" << variant_name(ck.variant)
+                        << ": CodegenOptions differ from the ones the "
+                           "artifact was compiled with — recompile instead "
+                           "of reusing it");
+  }
+}
+
+void apply_tcdm_bitflip(const CompiledKernel& ck, Cluster& cluster,
+                        u64 payload) {
+  // Payload decode (fault/fault_plan.hpp): low 6 bits pick the bit, the
+  // rest picks a staged input word — modulo the real geometry, so any
+  // 64-bit payload addresses a valid word of a valid input array.
+  const StencilCode& sc = ck.code;
+  const u32 bit = static_cast<u32>(payload & 63);
+  const u64 word_sel = payload >> 6;
+  const u32 input_idx = static_cast<u32>(word_sel % sc.n_inputs);
+  const u64 tile_words =
+      static_cast<u64>(sc.tile_nx) * sc.tile_ny * sc.tile_nz;
+  const u64 word = (word_sel / sc.n_inputs) % tile_words;
+  const Addr addr =
+      ck.layout.inputs[input_idx] + static_cast<Addr>(word * kWordBytes);
+  cluster.tcdm().host_write_u64(addr,
+                                cluster.tcdm().host_read_u64(addr) ^
+                                    (u64{1} << bit));
 }
 
 void stage_kernel(const CompiledKernel& ck, Cluster& cluster,
@@ -111,10 +150,23 @@ RunMetrics finish_kernel(const CompiledKernel& ck, Cluster& cluster,
                            static_cast<u32>(out_sim.bytes()));
   if (cfg.verify) {
     m.max_rel_err = max_rel_error(sc, out_sim, *golden);
-    SARIS_CHECK(m.max_rel_err <= cfg.tolerance,
-                sc.name << "/" << variant_name(ck.variant)
-                        << ": verification failed, max rel err "
-                        << m.max_rel_err);
+    if (!(m.max_rel_err <= cfg.tolerance)) {
+      // Typed run failure, attributed: an injected TCDM bit flip on record
+      // for this cluster makes this kInjectedFault (the harness planted the
+      // corruption); otherwise it is a genuine kVerifyFailed. The seed and
+      // tolerance are part of the diagnostic so a failure line alone is
+      // enough to reproduce the cell.
+      SimErrc errc =
+          (cfg.faults && cfg.faults->fired(FaultKind::kTcdmBitFlip,
+                                           cluster.cluster_id()))
+              ? SimErrc::kInjectedFault
+              : SimErrc::kVerifyFailed;
+      SARIS_RAISE(errc, window,
+                  sc.name << "/" << variant_name(ck.variant)
+                          << ": verification failed, max rel err "
+                          << m.max_rel_err << " > tolerance " << cfg.tolerance
+                          << " (seed " << cfg.seed << ")");
+    }
   }
   io.outputs.clear();
   io.outputs.push_back(std::move(out_sim));
@@ -159,6 +211,9 @@ RunMetrics execute_kernel(const CompiledKernel& ck, Cluster& cluster,
                           const RunConfig& cfg, KernelIO& io,
                           const Grid<>* golden_ext) {
   const StencilCode& sc = ck.code;
+  // Tag this thread with the job's identity: every SARIS_LOG line, CHECK
+  // failure, and context-filling SimError below carries it.
+  RunContextScope run_scope(sc.name, variant_name(ck.variant), cfg.seed);
   check_artifact(ck, cluster, cfg, io);
   const u32 n = cluster.num_cores();
 
@@ -175,19 +230,55 @@ RunMetrics execute_kernel(const CompiledKernel& ck, Cluster& cluster,
   if (cfg.overlap_dma) {
     for (const DmaJob& job : ck.overlap_jobs) cluster.dma().push(job);
   }
+  FaultPlan* faults = cfg.faults;
+  const u32 gid = cluster.cluster_id();
+  if (faults) cluster.dma().set_faults(faults, gid);
   std::vector<u32> timeline;
   std::vector<u64> last_useful(n, 0);
   auto wall0 = std::chrono::steady_clock::now();
+  u64 iters = 0;
   while (!cluster.all_halted()) {
+    if (faults) {
+      // Fault hooks run at the cycle boundary, addressed by the cluster's
+      // own clock — deterministic whatever the host-side schedule.
+      const Cycle local = cluster.now();
+      if (faults->stall_due(gid, local)) {
+        SARIS_RAISE(SimErrc::kClusterStall, local,
+                    sc.name << "/" << variant_name(ck.variant)
+                            << ": injected stall wedged the cluster");
+      }
+      u64 payload = 0;
+      while (faults->take_bitflip(gid, local, &payload)) {
+        apply_tcdm_bitflip(ck, cluster, payload);
+      }
+    }
     cluster.step();
     if (cfg.record_timeline) {
       timeline.push_back(count_active_fpu(cluster, last_useful));
     }
-    SARIS_CHECK(cluster.now() - t0 < cfg.max_cycles,
-                sc.name << "/" << variant_name(ck.variant)
-                        << ": kernel did not halt within " << cfg.max_cycles
-                        << " cycles (" << (cluster.now() - t0)
-                        << " elapsed)");
+    if (cluster.now() - t0 >= cfg.max_cycles) {
+      SARIS_RAISE(SimErrc::kMaxCyclesExceeded, cluster.now() - t0,
+                  sc.name << "/" << variant_name(ck.variant)
+                          << ": kernel did not halt within " << cfg.max_cycles
+                          << " cycles (" << (cluster.now() - t0)
+                          << " elapsed)");
+    }
+    // Wall-clock watchdog, checked coarsely so the steady-state loop does
+    // not pay a clock read per cycle.
+    if (cfg.max_wall_seconds > 0 && (++iters & 0xFFF) == 0) {
+      double elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - wall0)
+                           .count();
+      if (elapsed > cfg.max_wall_seconds) {
+        SARIS_RAISE(SimErrc::kWallClockTimeout, cluster.now() - t0,
+                    sc.name << "/" << variant_name(ck.variant)
+                            << ": cycle loop exceeded the per-job wall-clock "
+                               "budget of "
+                            << cfg.max_wall_seconds << " s (" << elapsed
+                            << " s elapsed, " << (cluster.now() - t0)
+                            << " cycles simulated)");
+      }
+    }
   }
   Cycle window = cluster.now() - t0;
   // Stop the wall clock with the compute window: `window` is the matching
@@ -208,10 +299,18 @@ RunMetrics execute_kernel(const CompiledKernel& ck, Cluster& cluster,
 
 RunMetrics run_kernel_io(const StencilCode& sc, const RunConfig& cfg,
                          KernelIO& io) {
-  SARIS_CHECK(io.inputs.size() == sc.n_inputs,
-              sc.name << ": expected " << sc.n_inputs << " input arrays");
-  SARIS_CHECK(io.coeffs.size() == sc.n_coeffs,
-              sc.name << ": expected " << sc.n_coeffs << " coefficients");
+  // Validate before compiling: bad user-supplied data is a typed,
+  // recoverable kBadConfig, raised before any cluster is built.
+  if (io.inputs.size() != sc.n_inputs) {
+    SARIS_RAISE(SimErrc::kBadConfig, 0,
+                sc.name << ": expected " << sc.n_inputs << " input arrays, got "
+                        << io.inputs.size());
+  }
+  if (io.coeffs.size() != sc.n_coeffs) {
+    SARIS_RAISE(SimErrc::kBadConfig, 0,
+                sc.name << ": expected " << sc.n_coeffs
+                        << " coefficients, got " << io.coeffs.size());
+  }
   std::shared_ptr<const CompiledKernel> ck =
       PlanCache::global().get_or_compile(sc, cfg.variant, cfg.cg,
                                          cfg.cluster.num_cores,

@@ -24,6 +24,8 @@
 
 namespace saris {
 
+class FaultPlan;
+
 struct RunConfig {
   KernelVariant variant = KernelVariant::kSaris;
   CodegenOptions cg{};
@@ -32,11 +34,22 @@ struct RunConfig {
   bool verify = true;
   bool record_timeline = false;  ///< fill RunMetrics::fpu_timeline
   u64 seed = 1;
-  /// Hang guard: abort (with the code, variant, and elapsed cycle count in
-  /// the message) if the kernel has not halted after this many cycles — a
-  /// deadlocked stream or missing halt is a programming error. Raise it for
-  /// experiments that legitimately run longer than the default.
+  /// Hang guard: raise SimError(kMaxCyclesExceeded) — with the code,
+  /// variant, and elapsed cycle count in the message — if the kernel has
+  /// not halted after this many cycles. Raise it for experiments that
+  /// legitimately run longer than the default.
   Cycle max_cycles = 100'000'000;
+  /// Per-job wall-clock watchdog: when > 0, the cycle loop raises
+  /// SimError(kWallClockTimeout) once it has run for this many host
+  /// seconds. Checked every few thousand cycles, so granularity is coarse;
+  /// 0 (the default) disables it. This is the sweep harness's defense
+  /// against one pathological cell eating the whole sweep's budget.
+  double max_wall_seconds = 0.0;
+  /// Fault-injection plan (fault/fault_plan.hpp), not owned; the run's DMA
+  /// word traffic, cycle loop (stalls, TCDM bit flips), and verification
+  /// consult it. Null — the default — is provably inert (bit-identity
+  /// test-enforced).
+  FaultPlan* faults = nullptr;
   /// Max relative error accepted vs the golden reference. Covers
   /// reassociation rounding, which is data-dependent: cancellation in the
   /// reordered sums of the widest (3-D, 27-point) codes reaches a few
@@ -71,9 +84,10 @@ RunMetrics execute_kernel(const CompiledKernel& ck, Cluster& cluster,
 // ---- path (system/system_runner.hpp), which stages G clusters, drives one
 // ---- interleaved cycle loop, and then finishes each cluster separately.
 
-/// Abort unless `cluster` and `cfg` match the artifact (core count, TCDM
-/// size, variant, codegen options) and `io` has the code's input/coeff
-/// counts.
+/// Raise SimError(kBadConfig) unless `cluster` and `cfg` match the artifact
+/// (core count, TCDM size, variant, codegen options) and `io` has the
+/// code's input/coeff counts. A mismatch is a recoverable per-job error —
+/// a sweep cell with a bad user config fails typed, not the whole process.
 void check_artifact(const CompiledKernel& ck, Cluster& cluster,
                     const RunConfig& cfg, const KernelIO& io);
 
@@ -81,6 +95,12 @@ void check_artifact(const CompiledKernel& ck, Cluster& cluster,
 /// coefficients and SSR index vectors) and load the per-core programs.
 void stage_kernel(const CompiledKernel& ck, Cluster& cluster,
                   const KernelIO& io);
+
+/// Flip one bit of a staged input word in the cluster's TCDM, addressed by
+/// a FaultPlan kTcdmBitFlip payload (fault/fault_plan.hpp). Used by both
+/// cycle loops (single-cluster below, System in system/system_runner.cpp).
+void apply_tcdm_bitflip(const CompiledKernel& ck, Cluster& cluster,
+                        u64 payload);
 
 /// One sample of the per-cycle FPU-activity timeline: the number of cores
 /// that issued a useful FPU op during the cluster's most recent step.
@@ -103,9 +123,10 @@ RunMetrics run_kernel_io(const StencilCode& sc, const RunConfig& cfg,
                          KernelIO& io);
 
 /// Run one time iteration of `sc` on a fresh cluster with seeded
-/// pseudo-random data; aborts on verification failure beyond the tolerance.
-/// Compiles through the global PlanCache and reuses the memoized golden
-/// reference for (sc, cfg.seed).
+/// pseudo-random data; raises SimError (kVerifyFailed, or kInjectedFault
+/// when an injected bit flip is on record) on verification failure beyond
+/// the tolerance. Compiles through the global PlanCache and reuses the
+/// memoized golden reference for (sc, cfg.seed).
 RunMetrics run_kernel(const StencilCode& sc, const RunConfig& cfg);
 
 /// Convenience: run both variants and return {base, saris}.

@@ -1,5 +1,6 @@
 #include "runtime/sweep.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cstdlib>
@@ -40,37 +41,111 @@ u32 sweep_thread_count(u32 requested, std::size_t num_jobs) {
   return n;
 }
 
-std::vector<RunMetrics> run_sweep(const std::vector<SweepJob>& jobs,
-                                  u32 threads) {
-  std::vector<RunMetrics> results(jobs.size());
+namespace {
+
+/// One job under the isolation contract: bounded deterministic retry, the
+/// sweep-level watchdog override, and per-attempt fault-plan construction.
+SweepResult run_one_isolated(const SweepJob& job, const SweepOptions& opts) {
+  SweepResult r;
+  const u32 max_attempts = std::max<u32>(1, opts.max_attempts);
+  for (u32 attempt = 0; attempt < max_attempts; ++attempt) {
+    r.attempts = attempt + 1;
+    RunConfig cfg = job.cfg;
+    if (opts.job_wall_seconds > 0) cfg.max_wall_seconds = opts.job_wall_seconds;
+    // The attempt's storm: the same seed replays the same event list, the
+    // attempt index expires events whose persistence has run out — so a
+    // retry deterministically clears transient faults and deterministically
+    // keeps hitting sticky ones.
+    FaultPlan plan;
+    if (job.inject_faults) {
+      plan = FaultPlan::storm(job.storm, job.fault_seed, attempt);
+      cfg.faults = &plan;
+    } else if (cfg.faults != nullptr) {
+      cfg.faults->rewind();
+    }
+    try {
+      r.metrics = run_kernel(*job.code, cfg);
+      r.ok = true;
+      r.error_code = SimErrc::kNone;
+      r.error.clear();
+      r.fault.reset();
+      return r;
+    } catch (const SimError& e) {
+      r.ok = false;
+      r.error_code = e.errc();
+      r.error = e.what();
+      r.fault = std::make_shared<const SimError>(e);
+      if (!e.retryable()) break;
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+std::vector<SweepResult> run_sweep_isolated(const std::vector<SweepJob>& jobs,
+                                            const SweepOptions& opts) {
+  std::vector<SweepResult> results(jobs.size());
   if (jobs.empty()) return results;
   for (const SweepJob& j : jobs) {
     SARIS_CHECK(j.code != nullptr, "sweep job without a stencil code");
   }
-  u32 n = sweep_thread_count(threads, jobs.size());
+  u32 n = sweep_thread_count(opts.threads, jobs.size());
+  const bool fail_fast = opts.policy == SweepFaultPolicy::kFailFast;
+
   if (n == 1) {
     for (std::size_t i = 0; i < jobs.size(); ++i) {
-      results[i] = run_kernel(*jobs[i].code, jobs[i].cfg);
+      results[i] = run_one_isolated(jobs[i], opts);
+      if (fail_fast && !results[i].ok) break;
     }
-    return results;
+  } else {
+    // Work-stealing by shared counter: each worker claims the next
+    // unstarted job. Results land at their job's index, so ordering (and
+    // hence output determinism) is independent of which worker finishes
+    // when. Under fail-fast a recorded failure stops further claims; jobs
+    // never attempted keep attempts == 0 (skipped).
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> workers;
+    workers.reserve(n);
+    for (u32 w = 0; w < n; ++w) {
+      workers.emplace_back([&] {
+        for (;;) {
+          if (stop.load(std::memory_order_relaxed)) return;
+          std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= jobs.size()) return;
+          results[i] = run_one_isolated(jobs[i], opts);
+          if (fail_fast && !results[i].ok) {
+            stop.store(true, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
   }
 
-  // Work-stealing by shared counter: each worker claims the next unstarted
-  // job. Results land at their job's index, so ordering (and hence output
-  // determinism) is independent of which worker finishes when.
-  std::atomic<std::size_t> next{0};
-  std::vector<std::thread> workers;
-  workers.reserve(n);
-  for (u32 w = 0; w < n; ++w) {
-    workers.emplace_back([&] {
-      for (;;) {
-        std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= jobs.size()) return;
-        results[i] = run_kernel(*jobs[i].code, jobs[i].cfg);
-      }
-    });
+  if (fail_fast) {
+    // Rethrow the first failure in job order (deterministic tie-break when
+    // several workers failed concurrently).
+    for (const SweepResult& r : results) {
+      if (r.attempts > 0 && !r.ok) throw SimError(*r.fault);
+    }
   }
-  for (std::thread& w : workers) w.join();
+  return results;
+}
+
+std::vector<RunMetrics> run_sweep(const std::vector<SweepJob>& jobs,
+                                  u32 threads) {
+  // All-or-nothing contract on top of the isolated engine: fail-fast,
+  // single attempt — the first job failure propagates as its SimError.
+  SweepOptions opts;
+  opts.threads = threads;
+  opts.policy = SweepFaultPolicy::kFailFast;
+  std::vector<SweepResult> rs = run_sweep_isolated(jobs, opts);
+  std::vector<RunMetrics> results(rs.size());
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    results[i] = std::move(rs[i].metrics);
+  }
   return results;
 }
 

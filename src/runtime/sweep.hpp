@@ -13,11 +13,20 @@
 // lowers it exactly once, and the golden reference for each (code, seed)
 // pair is likewise memoized (stencil/reference.hpp). Cache hits are
 // bit-identical to cold compiles, so the determinism contract is unchanged.
+// Fault isolation: run_sweep_isolated is the error-aware engine — one
+// job's typed failure (common/sim_error.hpp) becomes a SweepResult instead
+// of taking the sweep down, with a configurable fail-fast/isolate policy,
+// bounded deterministic retry for retryable codes, and an optional per-job
+// wall-clock watchdog. The legacy run_sweep keeps its all-or-nothing
+// contract on top of it.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/sim_error.hpp"
+#include "fault/fault_plan.hpp"
 #include "runtime/kernel_runner.hpp"
 #include "stencil/codes.hpp"
 
@@ -28,7 +37,52 @@ struct SweepJob {
   const StencilCode* code = nullptr;
   RunConfig cfg{};
   std::string label;  ///< free-form tag, carried through for reporting
+  /// Per-job fault injection: when set, every attempt of this job runs
+  /// under FaultPlan::storm(storm, fault_seed, attempt) — so a retry faces
+  /// the same storm minus its expired (transient) events, deterministically.
+  /// When unset, cfg.faults (if any; must then not be shared across
+  /// concurrent jobs) is rewound and reused for each attempt.
+  bool inject_faults = false;
+  FaultStormConfig storm{};
+  u64 fault_seed = 0;
 };
+
+/// How a sweep reacts to a job's typed failure (after its retries).
+enum class SweepFaultPolicy {
+  kFailFast,  ///< stop claiming work and rethrow the first failed job's error
+  kIsolate,   ///< record the error in the job's SweepResult and continue
+};
+
+struct SweepOptions {
+  u32 threads = 0;  ///< as in sweep_thread_count
+  SweepFaultPolicy policy = SweepFaultPolicy::kIsolate;
+  /// Attempts per job (>= 1). Only SimError codes with
+  /// sim_errc_retryable() true are retried; the rest fail immediately.
+  u32 max_attempts = 1;
+  /// When > 0, overrides every job's RunConfig::max_wall_seconds — the
+  /// sweep-level watchdog against one pathological cell starving the rest.
+  double job_wall_seconds = 0.0;
+};
+
+/// Outcome of one job under run_sweep_isolated.
+struct SweepResult {
+  bool ok = false;
+  RunMetrics metrics{};  ///< valid iff ok
+  SimErrc error_code = SimErrc::kNone;  ///< final attempt's code (if !ok)
+  std::string error;     ///< final attempt's full what() (if !ok)
+  u32 attempts = 0;      ///< attempts made; 0 = skipped (fail-fast cutoff)
+  /// The final attempt's typed error with full job context, null when ok.
+  std::shared_ptr<const SimError> fault;
+};
+
+/// Fault-isolated sweep: run all jobs, catching each job's SimError into
+/// its SweepResult (kIsolate) or rethrowing the first failure in job order
+/// after stopping the pool (kFailFast — later results may then be marked
+/// skipped). Results are in job order; determinism matches run_sweep: with
+/// identical jobs/options the outcomes, metrics, attempt counts, and error
+/// codes are identical whatever the worker count.
+std::vector<SweepResult> run_sweep_isolated(const std::vector<SweepJob>& jobs,
+                                            const SweepOptions& opts = {});
 
 /// Resolve the worker count: `requested` if nonzero, else the
 /// SARIS_SWEEP_THREADS environment variable, else hardware concurrency;
@@ -39,7 +93,9 @@ u32 sweep_thread_count(u32 requested, std::size_t num_jobs);
 
 /// Run all jobs and return their metrics in job order. `threads` as in
 /// sweep_thread_count; 1 degenerates to a plain sequential loop (the
-/// equivalence baseline for the determinism test).
+/// equivalence baseline for the determinism test). All-or-nothing: a job's
+/// SimError propagates to the caller (fail-fast, single attempt) — use
+/// run_sweep_isolated to survive per-job failures.
 std::vector<RunMetrics> run_sweep(const std::vector<SweepJob>& jobs,
                                   u32 threads = 0);
 

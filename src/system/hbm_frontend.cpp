@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/log.hpp"
+#include "fault/fault_plan.hpp"
 #include "mem/dma.hpp"
 
 namespace saris {
@@ -56,15 +57,23 @@ void HbmFrontend::begin_cycle() {
   // (job active, queued, or words in flight). Reading the DMAs here is safe
   // — begin_cycle is the serial point between cycles.
   for (auto& p : ports_) {
-    p->demand_ = p->client_ ? !p->client_->idle() : p->manual_demand_;
+    p->demand_ = !p->quarantined_ &&
+                 (p->client_ ? !p->client_->idle() : p->manual_demand_);
   }
+
+  // An active injected HBM-throttle window scales this cycle's fresh budget
+  // to its keep-percent (0 = blackout: every demanding DMA word is denied
+  // until the window passes). begin_cycle is the serial point, so querying
+  // the shared plan here is race-free and identical under parallel ticking.
+  u64 rate = rate_fp_;
+  if (faults_) rate = rate * faults_->hbm_keep_percent(cycles_) / 100;
 
   // Deal the cycle's budget in word quanta, one word per demanding port per
   // round, starting at the rotating pointer. Ports at the credit cap stop
   // receiving; whole words nobody can take are lost (a streaming link does
   // not bank idle bandwidth), but the sub-word remainder carries so
   // fractional rates (e.g. 6.4 words/cycle) average out exactly.
-  u64 budget = carry_fp_ + rate_fp_;
+  u64 budget = carry_fp_ + rate;
   bool dealt = true;
   while (budget >= kWordFp && dealt) {
     dealt = false;
@@ -139,6 +148,7 @@ double HbmFrontend::utilization_of(u64 bytes, Cycle cycles) const {
 void HbmFrontend::reset() {
   for (auto& p : ports_) {
     p->demand_ = false;
+    p->quarantined_ = false;
     p->credit_bytes_ = 0;
     p->granted_bytes_ = 0;
     p->denied_ = 0;

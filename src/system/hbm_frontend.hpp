@@ -29,6 +29,7 @@
 namespace saris {
 
 class Dma;
+class FaultPlan;
 
 class HbmFrontend {
  public:
@@ -49,6 +50,16 @@ class HbmFrontend {
     void set_client(const Dma* dma) { client_ = dma; }
     void set_manual_demand(bool on) { manual_demand_ = on; }
 
+    /// Quarantine (system/system_runner.hpp): a faulted cluster that has
+    /// stopped ticking must also stop absorbing bandwidth, so a quarantined
+    /// port's demand is forced off and its banked credits are dropped —
+    /// the dealt budget flows entirely to the survivors.
+    void set_quarantined(bool on) {
+      quarantined_ = on;
+      if (on) credit_bytes_ = 0;
+    }
+    bool quarantined() const { return quarantined_; }
+
     // ---- statistics ----
     u64 granted_bytes() const { return granted_bytes_; }
     /// acquire_word() refusals: each one is a DMA word op pushed to a later
@@ -66,6 +77,7 @@ class HbmFrontend {
     u64 span_;
     const Dma* client_ = nullptr;
     bool manual_demand_ = false;
+    bool quarantined_ = false;
     bool demand_ = false;       ///< latched at begin_cycle
     u32 credit_bytes_ = 0;      ///< spendable this cycle (plus banked cap)
     u64 granted_bytes_ = 0;
@@ -83,6 +95,14 @@ class HbmFrontend {
   Port& port(u32 g);
   u32 num_ports() const { return static_cast<u32>(ports_.size()); }
   bool limited() const { return limited_; }
+
+  /// Attach a fault-injection plan (fault/fault_plan.hpp): while one of its
+  /// kHbmThrottle windows is active, begin_cycle deals only the plan's
+  /// keep-percent of the per-cycle budget (0 = a denied-grant blackout).
+  /// Null and empty plans are bit-identical to no plan at all. The binding
+  /// survives reset() like the ports' client bindings do; pass nullptr to
+  /// detach.
+  void set_fault_plan(FaultPlan* plan) { faults_ = plan; }
 
   /// Refresh per-port word credits for the coming cycle: round-robin deal
   /// of the cycle's bandwidth budget across demanding ports. Must be called
@@ -123,6 +143,7 @@ class HbmFrontend {
   MainMemory& mem_;
   HbmConfig hbm_;
   bool limited_;
+  FaultPlan* faults_ = nullptr;
   std::vector<std::unique_ptr<Port>> ports_;
   u64 rate_fp_ = 0;   ///< bytes/cycle in 16.16 fixed point
   u64 carry_fp_ = 0;  ///< sub-word budget remainder carried across cycles

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/log.hpp"
+#include "common/sim_error.hpp"
 
 namespace saris {
 
@@ -101,9 +102,11 @@ Cycle System::run_until(const std::function<bool(u32)>& done, u32 threads,
         if (!finished[g]) ++left;
       }
       if (left == 0) break;
-      SARIS_CHECK(now_ - start < max_cycles,
-                  label << ": system did not finish within " << max_cycles
-                        << " cycles (" << (now_ - start) << " elapsed)");
+      if (now_ - start >= max_cycles) {
+        SARIS_RAISE(SimErrc::kMaxCyclesExceeded, now_ - start,
+                    label << ": system did not finish within " << max_cycles
+                          << " cycles (" << (now_ - start) << " elapsed)");
+      }
       const u32 b = legal_batch();
       for (u32 j = 0; j < b; ++j) hbm_->begin_cycle();
       now_ += b;
@@ -165,9 +168,11 @@ Cycle System::run_until(const std::function<bool(u32)>& done, u32 threads,
   for (u32 t = 1; t < n; ++t) pool.emplace_back(worker, t);
   worker(0);
   for (std::thread& w : pool) w.join();
-  SARIS_CHECK(!overrun,
-              label << ": system did not finish within " << max_cycles
-                    << " cycles (" << (now_ - start) << " elapsed)");
+  if (overrun) {
+    SARIS_RAISE(SimErrc::kMaxCyclesExceeded, now_ - start,
+                label << ": system did not finish within " << max_cycles
+                      << " cycles (" << (now_ - start) << " elapsed)");
+  }
   return now_ - start;
 }
 

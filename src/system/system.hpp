@@ -69,11 +69,15 @@ class System {
   /// runs right after each cluster tick — on the worker that owns g, so it
   /// may touch only cluster g's state. With threads > 1 the clusters tick
   /// on a worker pool with a per-boundary barrier; results are
-  /// bit-identical to threads=1. Aborts with `label` in the message if
-  /// max_cycles elapse (in the parallel path the overrun is latched at the
-  /// barrier's noexcept completion step and raised from the calling thread
-  /// once the pool has joined, so the labeled diagnostic is reported
-  /// instead of a mid-barrier termination). Returns cycles elapsed.
+  /// bit-identical to threads=1. Raises SimError(kMaxCyclesExceeded) with
+  /// `label` in the message if max_cycles elapse (in the parallel path the
+  /// overrun is latched at the barrier's noexcept completion step and
+  /// raised from the calling thread once the pool has joined, so the
+  /// labeled typed error propagates instead of a mid-barrier termination).
+  /// after_tick runs on worker threads and must not let exceptions escape —
+  /// a throwing callback would std::terminate the pool; catch run-level
+  /// errors inside it and resolve them at the serial point (the system
+  /// runner's quarantine does exactly this). Returns cycles elapsed.
   ///
   /// `batch` > 1 amortizes the per-cycle serial point: each boundary runs
   /// up to `batch` cycles before the next done/credit synchronization,

@@ -5,6 +5,8 @@
 #include <memory>
 
 #include "common/log.hpp"
+#include "common/run_context.hpp"
+#include "fault/fault_plan.hpp"
 #include "runtime/plan_cache.hpp"
 #include "runtime/sweep.hpp"
 #include "stencil/reference.hpp"
@@ -42,11 +44,29 @@ double SystemRunMetrics::mean_reload_gap() const {
   u64 n = 0;
   for (u32 g = 0; g < tiles_latency.size(); ++g) {
     for (u32 t = 1; t < tiles_latency[g].size(); ++t) {
+      // Skip gaps whose preceding tile never drained (quarantined cluster:
+      // the latency slot keeps its ~Cycle{0} sentinel).
+      if (tiles_latency[g][t - 1] == ~Cycle{0}) continue;
       sum += reload_gap(g, t);
       ++n;
     }
   }
   return n == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(n);
+}
+
+bool SystemRunMetrics::degraded() const {
+  for (u8 q : quarantined) {
+    if (q) return true;
+  }
+  return false;
+}
+
+u32 SystemRunMetrics::healthy_clusters() const {
+  u32 n = 0;
+  for (u8 q : quarantined) {
+    if (!q) ++n;
+  }
+  return n;
 }
 
 double SystemRunMetrics::fpu_util() const {
@@ -119,6 +139,9 @@ SystemRunMetrics execute_system_kernel(const CompiledKernel& ck, System& sys,
     u64 denied_base = 0;     ///< port denied_grants at current tile start
     std::vector<u64> last_useful;
     std::vector<u32> timeline;
+    /// Quarantine record: set (with finished) when a run-level SimError
+    /// took this cluster out of the run.
+    std::shared_ptr<const SimError> error;
   };
   std::vector<TileState> st(g_count);
 
@@ -135,8 +158,15 @@ SystemRunMetrics execute_system_kernel(const CompiledKernel& ck, System& sys,
   sm.tiles_hbm_bytes.assign(g_count, std::vector<u64>(tiles, 0));
   sm.tiles_hbm_denied.assign(g_count, std::vector<u64>(tiles, 0));
 
+  FaultPlan* const faults = cfg.run.faults;
+
   auto stage_tile = [&](u32 g, u32 t) {
     Cluster& cl = sys.cluster(g);
+    // Tag the owning thread with the (cluster, tile)'s identity for the
+    // duration of staging — check_artifact raises carry it, and any CHECK
+    // or log line names the shard that produced it.
+    RunContextScope scope(sc.name, variant_name(ck.variant),
+                          system_tile_seed(cfg.run.seed, g, t), g);
     const KernelIO& io = ios[static_cast<std::size_t>(g) * tiles + t];
     check_artifact(ck, cl, cfg.run, io);
     stage_kernel(ck, cl, io);
@@ -145,6 +175,9 @@ SystemRunMetrics execute_system_kernel(const CompiledKernel& ck, System& sys,
         cl.dma().push(offset_overlap_job(tmpl, sys.arena_base(g)));
       }
     }
+    // Rebind the fault plan with the cluster's accumulated tick count: the
+    // re-armed cluster's clock restarts at 0, the plan's timeline must not.
+    if (faults) cl.dma().set_faults(faults, g, st[g].ticks_base);
     sm.tiles_start[g][t] = st[g].ticks_base;
   };
 
@@ -166,7 +199,13 @@ SystemRunMetrics execute_system_kernel(const CompiledKernel& ck, System& sys,
     const std::size_t idx = static_cast<std::size_t>(g) * tiles + t;
     cl.sync_idle_counters();
     const Grid<>* golden = goldens.empty() ? nullptr : goldens[idx];
-    RunMetrics m = finish_kernel(ck, cl, cfg.run, ios[idx], golden,
+    // Finish under this tile's own seed so a verification failure's
+    // diagnostic (and typed error context) names the seed that reproduces
+    // the shard, not cluster 0's base seed.
+    RunConfig tile_cfg = cfg.run;
+    tile_cfg.seed = system_tile_seed(cfg.run.seed, g, t);
+    RunContextScope scope(sc.name, variant_name(ck.variant), tile_cfg.seed, g);
+    RunMetrics m = finish_kernel(ck, cl, tile_cfg, ios[idx], golden,
                                  /*t0=*/0, ts.window);
     m.fpu_timeline = std::move(ts.timeline);
     ts.timeline.clear();
@@ -193,6 +232,29 @@ SystemRunMetrics execute_system_kernel(const CompiledKernel& ck, System& sys,
     return true;
   };
 
+  // Quarantine: a run-level SimError on cluster g retires it mid-run — it
+  // stops ticking (finished), its HBM demand is forced off so its
+  // bandwidth share flows to the survivors, and its remaining tiles are
+  // abandoned (kNotYet stamps). The recorded error is re-contextualized
+  // with the cluster id and tile seed when the inner raise site did not
+  // know them. Runs on g's owner thread; the port flag is only read at the
+  // frontend's serial point, which the per-boundary barrier orders after
+  // any tick-phase write.
+  auto quarantine = [&](u32 g, const SimError& e) {
+    TileState& ts = st[g];
+    const u64 tile_seed = system_tile_seed(cfg.run.seed, g, ts.cur_tile);
+    ts.error = std::make_shared<const SimError>(
+        e.errc(), e.code().empty() ? sc.name : e.code(),
+        e.variant().empty() ? std::string(variant_name(ck.variant))
+                            : e.variant(),
+        e.seed() != 0 ? e.seed() : tile_seed, static_cast<i64>(g), e.cycle(),
+        e.detail());
+    ts.finished = true;
+    sys.hbm().port(g).set_quarantined(true);
+    SARIS_WARN("quarantined cluster " << g << " at tile " << ts.cur_tile
+                                      << ": " << ts.error->what());
+  };
+
   // ---- stage tile 0 everywhere ----
   // rearm() first: staging is re-entrant on a power-on cluster, whether it
   // was freshly constructed (rearm is then the identity) or carries a
@@ -204,14 +266,24 @@ SystemRunMetrics execute_system_kernel(const CompiledKernel& ck, System& sys,
   // its tiles get real (zero-cycle) stamps, full metric extraction, and
   // verification instead of leaking the not-yet sentinel.
   sys.hbm().reset();
+  sys.hbm().set_fault_plan(faults);
+  if (faults) faults->rewind();
   for (u32 g = 0; g < g_count; ++g) {
     Cluster& cl = sys.cluster(g);
     cl.rearm();
+    // Unconditional rebind: null detaches any plan a previous run on this
+    // reused System left behind (preserving the faults-off bit-identity
+    // contract); non-null arms this run's plan from cycle 0.
+    cl.dma().set_faults(faults, g);
     st[g].last_useful.assign(ck.n_cores, 0);
     st[g].granted_base = sys.hbm().port(g).granted_bytes();
     st[g].denied_base = sys.hbm().port(g).denied_grants();
-    stage_tile(g, 0);
-    while (!st[g].finished && try_complete(g)) {
+    try {
+      stage_tile(g, 0);
+      while (!st[g].finished && try_complete(g)) {
+      }
+    } catch (const SimError& e) {
+      quarantine(g, e);
     }
   }
 
@@ -229,13 +301,37 @@ SystemRunMetrics execute_system_kernel(const CompiledKernel& ck, System& sys,
   auto may_spawn_dma = [&](u32 g) {
     return !st[g].finished && st[g].cur_tile + 1 < tiles;
   };
+  // after_tick runs on worker threads under run_until's no-escaping-
+  // exceptions contract: every run-level SimError of this cluster — the
+  // fault hooks' raises, a verify miss or flop-invariant breach inside
+  // try_complete, a bad restage — is caught here and resolved as a
+  // quarantine; only the policy decides later whether it surfaces.
   auto after_tick = [&](u32 g) {
     TileState& ts = st[g];
     if (ts.finished) return;  // trailing ticks of a batched boundary
-    if (ts.window == kNotYet && cfg.run.record_timeline) {
-      ts.timeline.push_back(count_active_fpu(sys.cluster(g), ts.last_useful));
-    }
-    while (!ts.finished && try_complete(g)) {
+    try {
+      if (faults) {
+        // Fault hooks, addressed by the cluster's own accumulated tick
+        // count — batch- and thread-schedule-independent.
+        const Cycle sys_now = ts.ticks_base + sys.cluster(g).now();
+        if (faults->stall_due(g, sys_now)) {
+          SARIS_RAISE(SimErrc::kClusterStall, sys_now,
+                      sc.name << "/" << variant_name(ck.variant)
+                              << ": injected stall wedged cluster " << g);
+        }
+        u64 payload = 0;
+        while (faults->take_bitflip(g, sys_now, &payload)) {
+          apply_tcdm_bitflip(ck, sys.cluster(g), payload);
+        }
+      }
+      if (ts.window == kNotYet && cfg.run.record_timeline) {
+        ts.timeline.push_back(
+            count_active_fpu(sys.cluster(g), ts.last_useful));
+      }
+      while (!ts.finished && try_complete(g)) {
+      }
+    } catch (const SimError& e) {
+      quarantine(g, e);
     }
   };
 
@@ -254,16 +350,46 @@ SystemRunMetrics execute_system_kernel(const CompiledKernel& ck, System& sys,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
           .count();
 
+  // ---- resolve the fault policy ----
+  // kRaise: the survivors were allowed to finish (their state is consistent
+  // for the caller's post-mortem), but the run as a whole fails with the
+  // first quarantined cluster's typed error — cluster-id order, so the
+  // raised error is deterministic however the workers raced.
+  if (cfg.on_error == SystemFaultPolicy::kRaise) {
+    for (u32 g = 0; g < g_count; ++g) {
+      if (st[g].error) throw SimError(*st[g].error);
+    }
+  }
+
   // ---- aggregate ----
+  // Quarantine-aware: abandoned tiles keep the kNotYet sentinel and must
+  // not poison the maxima (kNotYet is ~Cycle{0}) or the sums.
   sm.step_wall_seconds = wall;
+  sm.quarantined.assign(g_count, 0);
+  sm.error_codes.assign(g_count, SimErrc::kNone);
+  sm.errors.assign(g_count, std::string());
   for (u32 g = 0; g < g_count; ++g) {
+    if (st[g].error) {
+      sm.quarantined[g] = 1;
+      sm.error_codes[g] = st[g].error->errc();
+      sm.errors[g] = st[g].error->what();
+    }
     for (u32 t = 0; t < tiles; ++t) {
+      if (sm.tiles_window[g][t] == kNotYet) continue;  // abandoned tile
       const RunMetrics& m = sm.tiles_metrics[g][t];
+      ++sm.tiles_ok;
       sm.flops += m.flops;
       sm.dma_bytes += m.dma_bytes;
       sm.compute_cycles = std::max(sm.compute_cycles, sm.tiles_window[g][t]);
     }
-    sm.cycles = std::max(sm.cycles, sm.tiles_done_sys[g][tiles - 1]);
+    // System window: this cluster's LAST completed tile (healthy clusters:
+    // tile T-1; quarantined ones: whatever they finished before the fault).
+    for (u32 t = tiles; t-- > 0;) {
+      if (sm.tiles_done_sys[g][t] != kNotYet) {
+        sm.cycles = std::max(sm.cycles, sm.tiles_done_sys[g][t]);
+        break;
+      }
+    }
     sm.per_cluster.push_back(sm.tiles_metrics[g][0]);
     sm.per_cluster.back().step_wall_seconds = wall;
     sm.compute_window.push_back(sm.tiles_window[g][0]);
@@ -290,17 +416,26 @@ SystemRunMetrics execute_system_kernel(const CompiledKernel& ck, System& sys,
     // steady_start coincide for balanced clusters; under imbalance the
     // phases overlap and each ratio stays a sound per-phase lower bound.
     Cycle first_end = 0;
-    Cycle steady_start = ~Cycle{0};
+    Cycle steady_start = kNotYet;
     u64 first_bytes = 0;
     u64 steady_bytes = 0;
     for (u32 g = 0; g < g_count; ++g) {
-      first_end = std::max(first_end, sm.tiles_done_sys[g][0]);
-      steady_start = std::min(steady_start, sm.tiles_done_sys[g][0]);
+      // A cluster quarantined before completing tile 0 contributes no
+      // phase boundary (its done stamp is the kNotYet sentinel) and no
+      // attributed bytes (its slots were never written past their zero
+      // fill).
+      if (sm.tiles_done_sys[g][0] != kNotYet) {
+        first_end = std::max(first_end, sm.tiles_done_sys[g][0]);
+        steady_start = std::min(steady_start, sm.tiles_done_sys[g][0]);
+      }
       first_bytes += sm.tiles_hbm_bytes[g][0];
       for (u32 t = 1; t < tiles; ++t) steady_bytes += sm.tiles_hbm_bytes[g][t];
     }
-    sm.hbm_util_first_tile = sys.hbm().utilization_of(first_bytes, first_end);
-    if (tiles > 1 && sm.cycles > steady_start) {
+    if (first_end > 0) {
+      sm.hbm_util_first_tile =
+          sys.hbm().utilization_of(first_bytes, first_end);
+    }
+    if (tiles > 1 && steady_start != kNotYet && sm.cycles > steady_start) {
       // Unlike the first-tile window (which starts at the frontend reset),
       // the steady window can inherit credits banked just before it — up
       // to one credit cap per port plus the sub-word carry — so the raw

@@ -26,14 +26,33 @@
 //  - parallel = true (cluster ticking on worker threads) is bit-identical
 //    to serial ticking for any G and T;
 //  - batch > 1 (batched-barrier ticking) is bit-identical to batch = 1.
+// Fault handling: a run-level SimError on one cluster (injected stall,
+// verify miss, bad staging) does not tear the system run down. Under the
+// default kQuarantine policy the faulted cluster is quarantined mid-run —
+// it stops ticking, its HBM demand is forced off so its bandwidth share
+// flows to the survivors, and its remaining tiles are abandoned — while
+// every other cluster finishes its tile queue; SystemRunMetrics then
+// reports the degraded shard set (quarantined flags, per-cluster errors,
+// tiles_ok). kRaise instead rethrows the first faulted cluster's error
+// (in cluster-id order, deterministically) after the survivors finish.
 #pragma once
 
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "common/sim_error.hpp"
 #include "runtime/kernel_runner.hpp"
 #include "system/system.hpp"
 
 namespace saris {
+
+/// What execute_system_kernel does with a cluster's run-level SimError.
+enum class SystemFaultPolicy {
+  kRaise,       ///< survivors finish, then the first error (by cluster id)
+                ///< is rethrown to the caller
+  kQuarantine,  ///< degrade gracefully: record the error, finish the rest
+};
 
 struct SystemRunConfig {
   u32 clusters = 1;  ///< G: tile-grid shards running concurrently
@@ -63,6 +82,11 @@ struct SystemRunConfig {
   /// System::run_until — demand-free spans, or the whole run when the
   /// frontend is unarbitrated). 1 = per-cycle. Bit-identical for any value.
   u32 batch = 1;
+  /// Reaction to a cluster's run-level SimError (see the file comment).
+  /// run.faults, when set, is the system-wide fault plan: it drives the
+  /// HBM frontend, every cluster's DMA, and the per-cluster stall/bit-flip
+  /// hooks, addressed in system cycles; it is rewound at run entry.
+  SystemFaultPolicy on_error = SystemFaultPolicy::kQuarantine;
 };
 
 struct SystemRunMetrics {
@@ -126,6 +150,22 @@ struct SystemRunMetrics {
   /// is about.
   double hbm_util_first_tile = 0.0;
   double hbm_util_steady = 0.0;
+
+  // ---- graceful degradation (all empty/zero on a fault-free run with
+  // ---- every cluster healthy) ----
+  /// Per-cluster quarantine flag: 1 when cluster g was taken out of the run
+  /// by a run-level error. Its unfinished tiles keep the kNotYet sentinel
+  /// (~Cycle{0}) in the cycle matrices and default RunMetrics entries.
+  std::vector<u8> quarantined;
+  /// Per-cluster error code / diagnostic (kNone / "" for healthy clusters).
+  std::vector<SimErrc> error_codes;
+  std::vector<std::string> errors;
+  u32 tiles_ok = 0;  ///< tiles that completed and verified, across clusters
+
+  /// True when at least one cluster was quarantined — the run completed in
+  /// degraded mode and aggregate metrics cover the surviving shards only.
+  bool degraded() const;
+  u32 healthy_clusters() const;
 
   /// Inter-tile reload gap: cycles cluster g spends between tile t-1's
   /// compute-window close and tile t's staging (t >= 1) — the DMA drain

@@ -2,12 +2,32 @@
 // multi-step stepping, metric plausibility, DMA-utilization shapes.
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "common/sim_error.hpp"
 #include "runtime/kernel_runner.hpp"
 #include "stencil/codes.hpp"
 #include "stencil/reference.hpp"
 
 namespace saris {
 namespace {
+
+/// Expect `fn` to raise a SimError with the given code whose what() contains
+/// `needle`; returns the error for further field checks.
+template <typename Fn>
+SimError expect_sim_error(Fn&& fn, SimErrc errc, const std::string& needle) {
+  try {
+    fn();
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.errc(), errc) << e.what();
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << e.what();
+    return e;
+  }
+  ADD_FAILURE() << "expected SimError(" << sim_errc_name(errc)
+                << "), nothing was thrown";
+  return SimError(SimErrc::kNone, 0, "");
+}
 
 TEST(Runtime, KernelIoReturnsOutputGrid) {
   const StencilCode& sc = code_by_name("jacobi_2d");
@@ -123,33 +143,44 @@ TEST(Runtime, VariantNames) {
   EXPECT_STREQ(variant_name(KernelVariant::kSaris), "saris");
 }
 
-TEST(RuntimeDeath, ConfigurableHangGuardNamesVariantAndElapsed) {
-  // A healthy kernel trips a tiny max_cycles budget, and the diagnostic
-  // carries the code, variant, and elapsed cycle count.
+TEST(RuntimeErrors, ConfigurableHangGuardNamesVariantAndElapsed) {
+  // A healthy kernel trips a tiny max_cycles budget: a typed, catchable
+  // kMaxCyclesExceeded (not an abort) whose diagnostic carries the code,
+  // variant, and elapsed cycle count — and whose context fields identify
+  // the job.
   const StencilCode& sc = code_by_name("jacobi_2d");
   RunConfig cfg;
   cfg.variant = KernelVariant::kSaris;
   cfg.max_cycles = 64;
-  EXPECT_DEATH(run_kernel(sc, cfg),
-               "jacobi_2d/saris: kernel did not halt within 64 cycles");
+  SimError e = expect_sim_error([&] { run_kernel(sc, cfg); },
+                                SimErrc::kMaxCyclesExceeded,
+                                "jacobi_2d/saris: kernel did not halt "
+                                "within 64 cycles");
+  EXPECT_EQ(e.code(), "jacobi_2d");
+  EXPECT_EQ(e.variant(), "saris");
+  EXPECT_EQ(e.seed(), cfg.seed);
+  EXPECT_FALSE(e.retryable());  // a hung kernel stays hung
 }
 
-TEST(RuntimeDeath, WrongInputCountAborts) {
+TEST(RuntimeErrors, WrongInputCountIsTypedBadConfig) {
   const StencilCode& sc = code_by_name("ac_iso_cd");  // needs 2 inputs
   KernelIO io;
   io.inputs.emplace_back(sc.tile_nx, sc.tile_ny, sc.tile_nz);
   io.coeffs = sc.default_coeffs();
   RunConfig cfg;
-  EXPECT_DEATH(run_kernel_io(sc, cfg, io), "input arrays");
+  SimError e = expect_sim_error([&] { run_kernel_io(sc, cfg, io); },
+                                SimErrc::kBadConfig, "input arrays");
+  EXPECT_FALSE(e.retryable());  // a bad config never fixes itself
 }
 
-TEST(RuntimeDeath, WrongCoeffCountAborts) {
+TEST(RuntimeErrors, WrongCoeffCountIsTypedBadConfig) {
   const StencilCode& sc = code_by_name("jacobi_2d");
   KernelIO io;
   io.inputs.emplace_back(sc.tile_nx, sc.tile_ny);
   io.coeffs = {0.2, 0.3};
   RunConfig cfg;
-  EXPECT_DEATH(run_kernel_io(sc, cfg, io), "coefficients");
+  expect_sim_error([&] { run_kernel_io(sc, cfg, io); }, SimErrc::kBadConfig,
+                   "coefficients");
 }
 
 TEST(Runtime, Star7pExampleRunsBothVariants) {

@@ -471,26 +471,42 @@ TEST(System, RunUntilImmediateDoneNeverTicksNorCallsAfterTick) {
   EXPECT_EQ(sys.cluster(0).now(), 0u);
 }
 
-TEST(SystemDeath, ParallelOverrunRaisesTheLabeledError) {
-  // The hang guard used to SARIS_CHECK inside the barrier's noexcept
-  // completion step; the overrun is now latched there and raised from the
-  // owning thread after the pool joins, with the same labeled message the
-  // serial path gives.
+TEST(SystemErrors, ParallelOverrunRaisesTheLabeledTypedError) {
+  // The overrun is latched at the barrier's noexcept completion step and
+  // raised from the owning thread after the pool joins — as a typed,
+  // catchable kMaxCyclesExceeded with the same labeled message the serial
+  // path gives.
   const StencilCode& sc = code_by_name("jacobi_2d");
   SystemRunConfig cfg;
   cfg.clusters = 2;
   cfg.parallel = true;
   cfg.threads = 2;
   cfg.run.max_cycles = 50;  // far below any real tile latency
-  EXPECT_DEATH(run_system_kernel(sc, cfg), "did not finish within");
+  try {
+    run_system_kernel(sc, cfg);
+    FAIL() << "expected SimError(kMaxCyclesExceeded)";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.errc(), SimErrc::kMaxCyclesExceeded);
+    EXPECT_NE(std::string(e.what()).find("did not finish within"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
-TEST(SystemDeath, SerialOverrunStillRaisesTheLabeledError) {
+TEST(SystemErrors, SerialOverrunRaisesTheLabeledTypedError) {
   const StencilCode& sc = code_by_name("jacobi_2d");
   SystemRunConfig cfg;
   cfg.clusters = 2;
   cfg.run.max_cycles = 50;
-  EXPECT_DEATH(run_system_kernel(sc, cfg), "did not finish within");
+  try {
+    run_system_kernel(sc, cfg);
+    FAIL() << "expected SimError(kMaxCyclesExceeded)";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.errc(), SimErrc::kMaxCyclesExceeded);
+    EXPECT_NE(std::string(e.what()).find("did not finish within"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(SystemRunner, ShardSeedsAreDistinctAndAnchored) {
