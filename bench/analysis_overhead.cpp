@@ -1,0 +1,165 @@
+// Static-verifier overhead and accuracy over the full 10-code x 2-variant
+// matrix:
+//   - analyzer wall-clock per cell, and as a fraction of pure lowering
+//     (compile_kernel with the verify pass disabled),
+//   - predicted vs measured per-core-port TCDM access counts (the absint
+//     walk is exact: any mismatch is a bug, and the count is printed),
+//   - predicted vs measured bank-conflict fraction, with the provably-
+//     conflict-free flag.
+// Measured numbers come from overlap_dma=false runs so the simulator sees
+// exactly the core-port traffic the conflict prediction models.
+// Emits BENCH_analysis.json.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/verifier.hpp"
+#include "report/table.hpp"
+#include "runtime/kernel_runner.hpp"
+#include "stencil/codes.hpp"
+
+namespace {
+
+using namespace saris;
+
+struct CellResult {
+  std::string code;
+  const char* variant = "";
+  double analyze_ms = 0;   ///< verify_kernel wall clock (best of 3)
+  double lower_ms = 0;     ///< compile without verification (best of 3)
+  u64 pred_accesses = 0;   ///< core-port requests, statically predicted
+  u64 meas_accesses = 0;   ///< same, measured (overlap_dma=false run)
+  u32 port_mismatches = 0;
+  double pred_frac = 0;
+  double meas_frac = 0;
+  bool provably_free = false;
+  u32 diags = 0;
+};
+
+double best_of_3_ms(const std::function<void()>& fn) {
+  double best = 1e30;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best,
+                    std::chrono::duration<double, std::milli>(t1 - t0)
+                        .count());
+  }
+  return best;
+}
+
+CellResult run_cell(const StencilCode& sc, KernelVariant v) {
+  CellResult r;
+  r.code = sc.name;
+  r.variant = variant_name(v);
+
+  CodegenOptions cg_off;
+  cg_off.verify = 0;
+  r.lower_ms = best_of_3_ms(
+      [&] { compile_kernel(sc, v, cg_off, 8); });
+
+  CompiledKernel ck = compile_kernel(sc, v, cg_off, 8);
+  VerifyReport rep;
+  r.analyze_ms = best_of_3_ms([&] { rep = verify_kernel(ck); });
+  r.diags = static_cast<u32>(rep.diags.size());
+  r.provably_free = rep.conflict.provably_conflict_free;
+  r.pred_frac = rep.conflict.predicted_fraction;
+
+  RunConfig cfg;
+  cfg.variant = v;
+  cfg.overlap_dma = false;
+  RunMetrics m = run_kernel(sc, cfg);
+  for (u32 c = 0; c < rep.absint.cores.size(); ++c) {
+    for (u32 k = 0; k < kCorePorts; ++k) {
+      const u64 pred = rep.absint.cores[c].ports[k].accesses;
+      const u64 meas = m.tcdm_port_accesses[c * kCorePorts + k];
+      r.pred_accesses += pred;
+      r.meas_accesses += meas;
+      if (pred != meas) ++r.port_mismatches;
+    }
+  }
+  r.meas_frac = m.tcdm_accesses
+                    ? static_cast<double>(m.tcdm_conflicts) / m.tcdm_accesses
+                    : 0.0;
+  return r;
+}
+
+void write_json(const char* path, const std::vector<CellResult>& cells) {
+  FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"analysis_overhead\",\n  \"cells\": [\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& r = cells[i];
+    std::fprintf(
+        f,
+        "    {\"code\": \"%s\", \"variant\": \"%s\", "
+        "\"analyze_ms\": %.4f, \"lower_ms\": %.4f, "
+        "\"pred_accesses\": %llu, \"meas_accesses\": %llu, "
+        "\"port_mismatches\": %u, "
+        "\"pred_conflict_frac\": %.6f, \"meas_conflict_frac\": %.6f, "
+        "\"provably_conflict_free\": %s, \"diags\": %u}%s\n",
+        r.code.c_str(), r.variant, r.analyze_ms, r.lower_ms,
+        static_cast<unsigned long long>(r.pred_accesses),
+        static_cast<unsigned long long>(r.meas_accesses), r.port_mismatches,
+        r.pred_frac, r.meas_frac, r.provably_free ? "true" : "false",
+        r.diags, i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = "BENCH_analysis.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("== Static verifier: overhead and prediction accuracy ==\n");
+  std::vector<CellResult> cells;
+  for (const StencilCode& sc : all_codes()) {
+    for (KernelVariant v : {KernelVariant::kBase, KernelVariant::kSaris}) {
+      cells.push_back(run_cell(sc, v));
+    }
+  }
+
+  TextTable t({"code", "variant", "analyze ms", "lower ms", "x lowering",
+               "acc pred", "acc meas", "mism", "conf pred", "conf meas",
+               "free"});
+  u32 total_mismatches = 0;
+  u32 total_diags = 0;
+  for (const CellResult& r : cells) {
+    t.add_row({r.code, r.variant, TextTable::fmt(r.analyze_ms, 3),
+               TextTable::fmt(r.lower_ms, 3),
+               TextTable::fmt(r.lower_ms > 0 ? r.analyze_ms / r.lower_ms : 0,
+                              2),
+               std::to_string(r.pred_accesses),
+               std::to_string(r.meas_accesses),
+               std::to_string(r.port_mismatches),
+               TextTable::fmt(r.pred_frac, 4), TextTable::fmt(r.meas_frac, 4),
+               r.provably_free ? "yes" : "no"});
+    total_mismatches += r.port_mismatches;
+    total_diags += r.diags;
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("diagnostics across all cells: %u (expect 0)\n", total_diags);
+  std::printf("per-port access mismatches:   %u (expect 0)\n",
+              total_mismatches);
+
+  write_json(json_path, cells);
+  std::printf("wrote %s\n", json_path);
+  return (total_mismatches == 0 && total_diags == 0) ? 0 : 1;
+}

@@ -1,0 +1,104 @@
+// Abstract interpretation of the integer subset of a compiled kernel.
+//
+// The Snitch kernels our code generators emit are statically bounded: the
+// integer core only ever computes addresses and loop counters from
+// compile-time constants (the register file is zeroed at reset, and nothing
+// in the generated code loads a value that later feeds an address or a
+// branch). That makes a concrete walk of the integer instruction stream a
+// sound static analysis: every kLw/kSw/kLh/kSh effective address, every
+// fld/fsd target and every SSR address-generator stream can be enumerated
+// exactly and checked against the KernelLayout's TCDM arenas.
+//
+// Values that ARE runtime-dependent (int loads, rdcycle) are tracked as
+// "unknown"; an unknown value reaching an address is an error (the program
+// is not statically boundable), an unknown branch condition aborts the walk
+// with a warning (the analysis is incomplete, not the program wrong).
+//
+// As a by-product the walk records, per TCDM requester port, the exact
+// number of accesses and the per-bank access histogram. Those counts are
+// schedule-independent in the simulator (arbitration delays requests, it
+// never reroutes or drops them), so they double as a static cross-check of
+// the simulator's port statistics and feed the bank-conflict predictor in
+// verifier.cpp.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "runtime/compiled_kernel.hpp"
+
+namespace saris {
+
+/// TCDM port kinds of one core, in the order the simulator registers them
+/// (SsrUnit's shared index port, the three SSR lane data ports, the FP LSU,
+/// the integer LSU). Core c's ports occupy simulator port ids
+/// [c * kCorePorts, (c+1) * kCorePorts); the DMA ports follow all cores.
+inline constexpr u32 kCorePorts = 6;
+enum CorePort : u32 {
+  kPortSsrIdx = 0,
+  kPortSsr0 = 1,
+  kPortSsr1 = 2,
+  kPortSsr2 = 3,
+  kPortFlsu = 4,
+  kPortIlsu = 5,
+};
+const char* core_port_name(u32 port);
+
+/// One named TCDM address range the layout assigns meaning to.
+struct Arena {
+  Addr begin = 0;
+  Addr end = 0;  ///< half-open
+  std::string name;
+  bool writable = false;
+};
+
+/// The layout's arenas plus the TCDM bound, for address legality checks.
+struct ArenaMap {
+  u32 tcdm_bytes = 0;
+  std::vector<Arena> arenas;
+
+  static ArenaMap from_layout(const KernelLayout& lay, u32 tcdm_bytes);
+  /// Index into `arenas` of the arena containing [addr, addr+size), or -1.
+  i32 find(Addr addr, u32 size) const;
+};
+
+/// Predicted access counts for one TCDM requester port.
+struct PortPrediction {
+  u64 accesses = 0;
+  std::vector<u64> per_bank;  ///< size = num_banks
+
+  void account(Addr addr, u32 num_banks) {
+    ++accesses;
+    per_bank[(addr / kWordBytes) % num_banks] += 1;
+  }
+};
+
+struct CorePrediction {
+  std::array<PortPrediction, kCorePorts> ports;
+  /// True when the walk reached kHalt with every address bounded; false
+  /// after an unknown branch, a budget overrun, or a fatal address error.
+  bool complete = false;
+  u64 int_steps = 0;
+};
+
+struct AbsintResult {
+  std::vector<CorePrediction> cores;
+  /// Aggregate over all DMA ports. The per-word TCDM addresses of the
+  /// overlap jobs are exact, but the engine round-robins words across its
+  /// ports depending on grant timing, so only the aggregate is
+  /// schedule-independent.
+  PortPrediction dma;
+  bool all_complete = false;
+};
+
+/// Walk every core's program. `include_overlap_dma` additionally enumerates
+/// the steady-state overlap DMA jobs into `dma`. Appends diagnostics for
+/// out-of-arena / out-of-TCDM accesses, bad scfgwi configuration, unbounded
+/// values and budget overruns.
+AbsintResult abstract_interpret(const CompiledKernel& ck,
+                                bool include_overlap_dma,
+                                std::vector<Diagnostic>& diags);
+
+}  // namespace saris

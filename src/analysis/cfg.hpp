@@ -1,0 +1,92 @@
+// Control-flow graph over a Program, at FREP-expanded ("virtual") instruction
+// granularity.
+//
+// The interpreter replays an FREP body with hardware register staggering:
+// replay iteration k rotates FP operands with index >= stagger_base by
+// k % stagger (core/frep.cpp). A dataflow analysis that looked only at the
+// written body text would miss the rotated registers entirely, so the CFG is
+// built over a virtual instruction list: the original program, plus one
+// rotated copy of every staggered FREP body per stagger offset 1..s-1,
+// wired into a cycle
+//
+//   body@0 -> body@1 -> ... -> body@(s-1) -> body@0
+//
+// with an exit edge from the end of every copy (the repetition count is a
+// runtime register, so the loop may statically end after any iteration).
+// Unstaggered bodies get a self-loop. Every virtual instruction carries its
+// original pc, so analyses report findings against the program as written.
+//
+// Construction also performs the structural legality checks: every resolved
+// branch/jump target in range, fall-through off the program end, FREP body
+// bounds and content (FP compute only, no control flow, no int-memory ops),
+// and stagger fields within the register file (kBadStagger covers rotation
+// past f31). A program with structural errors yields no CFG — callers skip
+// the dataflow stages and report the structural diagnostics alone.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "isa/program.hpp"
+
+namespace saris {
+
+/// One virtual instruction: the (possibly stagger-rotated) instruction text
+/// plus the original program index it derives from.
+struct VirtInstr {
+  Instr in;
+  u32 pc = 0;          ///< original program index
+  u8 stagger_off = 0;  ///< rotation offset this copy was expanded with
+};
+
+/// Half-open range [begin, end) of virtual-instruction indices plus graph
+/// edges. Blocks partition the virtual list: leaders are the entry, branch
+/// targets, branch/jump/halt successors, and FREP-body copy boundaries.
+struct BasicBlock {
+  u32 begin = 0;
+  u32 end = 0;
+  std::vector<u32> succs;  ///< successor block ids
+  std::vector<u32> preds;  ///< predecessor block ids
+};
+
+class Cfg {
+ public:
+  /// Build the CFG for one core's program, appending structural diagnostics
+  /// to `diags`. Returns std::nullopt when structural errors make the graph
+  /// meaningless (bad targets / malformed FREP bodies).
+  static std::optional<Cfg> build(const Program& p, u32 core,
+                                  std::vector<Diagnostic>& diags);
+
+  const std::vector<VirtInstr>& vinstrs() const { return vinstrs_; }
+  u32 size() const { return static_cast<u32>(vinstrs_.size()); }
+
+  const std::vector<BasicBlock>& blocks() const { return blocks_; }
+  u32 block_of(u32 vi) const { return block_of_[vi]; }
+
+  /// Per-virtual-instruction successor lists (instruction-granular edges;
+  /// the block graph above is derived from these).
+  const std::vector<u32>& succs(u32 vi) const { return succs_[vi]; }
+  const std::vector<u32>& preds(u32 vi) const { return preds_[vi]; }
+
+  u32 core() const { return core_; }
+
+ private:
+  u32 core_ = 0;
+  std::vector<VirtInstr> vinstrs_;
+  std::vector<std::vector<u32>> succs_;
+  std::vector<std::vector<u32>> preds_;
+  std::vector<BasicBlock> blocks_;
+  std::vector<u32> block_of_;
+
+  void add_edge(u32 from, u32 to);
+  void build_blocks();
+};
+
+/// Structural checks alone (also run by Cfg::build): target validity, FREP
+/// body legality, stagger ranges, fall-off-the-end. Exposed so the verifier
+/// can report all structural findings even when the CFG is not built.
+void check_structure(const Program& p, u32 core,
+                     std::vector<Diagnostic>& diags);
+
+}  // namespace saris

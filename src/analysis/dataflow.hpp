@@ -1,0 +1,201 @@
+// Generic worklist dataflow solver over the FREP-expanded CFG, plus the
+// three instantiations the verifier uses:
+//
+//  - SSR stream-state (forward): per-lane {unconfigured, read, write} and the
+//    SSR enable flag, used both for diagnostics (reads of never-launched
+//    lanes deadlock the FPU) and to overlay stream semantics on register
+//    use/def sets (a pop is not an architectural use; a push is not a def).
+//  - Register liveness (backward) over both register files. The per-pc
+//    in/out bitsets are exported as LivenessExport — the input contract for
+//    the liveness-driven scheduler (ROADMAP item 2) — and drive dead-store
+//    detection.
+//  - Reaching definitions (forward) at definition-site granularity, with a
+//    pseudo entry definition per register; a use whose reaching set holds
+//    only the entry definition is a use-before-def.
+//
+// The solver is deliberately instruction-granular: kernels are a few hundred
+// virtual instructions, so block-level transfer composition would buy
+// nothing; the basic blocks in the Cfg are used for reporting and ordering.
+//
+// A solver problem P provides:
+//   using Value = ...;
+//   static constexpr bool kForward = ...;
+//   Value boundary() const;  // entry value (forward) / exit value (backward)
+//   Value init() const;      // optimistic bottom value
+//   bool join(Value& into, const Value& from) const;  // true if changed
+//   void transfer(u32 vi, const VirtInstr& in, Value& v) const;
+#pragma once
+
+#include <array>
+#include <deque>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "analysis/diagnostic.hpp"
+
+namespace saris {
+
+/// Bitset over both register files (bit i of `x` = xi, bit i of `f` = fi).
+struct RegSet {
+  u32 x = 0;
+  u32 f = 0;
+
+  void add_x(u8 i) {
+    if (i != 0) x |= 1u << i;  // x0 is hardwired; never tracked
+  }
+  void add_f(u8 i) { f |= 1u << i; }
+  bool has_x(u8 i) const { return (x >> i) & 1u; }
+  bool has_f(u8 i) const { return (f >> i) & 1u; }
+  bool empty() const { return x == 0 && f == 0; }
+
+  RegSet& operator|=(const RegSet& o) {
+    x |= o.x;
+    f |= o.f;
+    return *this;
+  }
+  /// Set difference (this minus o).
+  RegSet minus(const RegSet& o) const { return RegSet{x & ~o.x, f & ~o.f}; }
+  bool operator==(const RegSet&) const = default;
+};
+
+template <typename P>
+struct DataflowResult {
+  std::vector<typename P::Value> in;   ///< per virtual instruction
+  std::vector<typename P::Value> out;  ///< per virtual instruction
+};
+
+template <typename P>
+DataflowResult<P> solve(const Cfg& cfg, const P& prob) {
+  const u32 n = cfg.size();
+  DataflowResult<P> r;
+  r.in.assign(n, prob.init());
+  r.out.assign(n, prob.init());
+
+  std::deque<u32> worklist;
+  std::vector<bool> queued(n, false);
+  auto enqueue = [&](u32 vi) {
+    if (!queued[vi]) {
+      queued[vi] = true;
+      worklist.push_back(vi);
+    }
+  };
+  // Seed in meet-order so the first sweep already propagates far.
+  if constexpr (P::kForward) {
+    for (u32 vi = 0; vi < n; ++vi) enqueue(vi);
+  } else {
+    for (u32 vi = n; vi-- > 0;) enqueue(vi);
+  }
+
+  while (!worklist.empty()) {
+    const u32 vi = worklist.front();
+    worklist.pop_front();
+    queued[vi] = false;
+
+    if constexpr (P::kForward) {
+      typename P::Value v = prob.init();
+      if (cfg.preds(vi).empty() || vi == 0) prob.join(v, prob.boundary());
+      for (u32 p : cfg.preds(vi)) prob.join(v, r.out[p]);
+      r.in[vi] = v;
+      prob.transfer(vi, cfg.vinstrs()[vi], v);
+      if (!(v == r.out[vi])) {
+        r.out[vi] = v;
+        for (u32 s : cfg.succs(vi)) enqueue(s);
+      }
+    } else {
+      typename P::Value v = prob.init();
+      if (cfg.succs(vi).empty()) prob.join(v, prob.boundary());
+      for (u32 s : cfg.succs(vi)) prob.join(v, r.in[s]);
+      r.out[vi] = v;
+      prob.transfer(vi, cfg.vinstrs()[vi], v);
+      if (!(v == r.in[vi])) {
+        r.in[vi] = v;
+        for (u32 p : cfg.preds(vi)) enqueue(p);
+      }
+    }
+  }
+  return r;
+}
+
+// ---- SSR stream state ----
+
+/// May-sets encoded as bitmasks; a singleton mask is a "definitely" fact.
+struct SsrState {
+  static constexpr u8 kOff = 1, kOn = 2;
+  static constexpr u8 kUnconfigured = 1, kRead = 2, kWrite = 4;
+  u8 enabled = 0;               ///< {kOff, kOn} mask
+  std::array<u8, 3> lane{};     ///< {kUnconfigured, kRead, kWrite} masks
+  bool operator==(const SsrState&) const = default;
+};
+
+struct SsrStateProblem {
+  using Value = SsrState;
+  static constexpr bool kForward = true;
+  Value boundary() const {
+    SsrState s;
+    s.enabled = SsrState::kOff;
+    s.lane = {SsrState::kUnconfigured, SsrState::kUnconfigured,
+              SsrState::kUnconfigured};
+    return s;
+  }
+  Value init() const { return SsrState{}; }
+  bool join(Value& into, const Value& from) const {
+    const SsrState before = into;
+    into.enabled |= from.enabled;
+    for (u32 l = 0; l < 3; ++l) into.lane[l] |= from.lane[l];
+    return !(into == before);
+  }
+  void transfer(u32 /*vi*/, const VirtInstr& v, Value& s) const;
+};
+
+// ---- per-instruction use/def with the SSR overlay ----
+
+struct UseDef {
+  RegSet use;
+  RegSet def;
+  bool stream_push = false;  ///< FP result goes to a write-stream FIFO
+};
+
+/// Architectural use/def sets of one virtual instruction given the SSR
+/// stream state on entry: reads of a definitely-enabled, definitely-read-
+/// stream lane are pops (no register use); FP writes to a definitely-
+/// enabled, definitely-write-stream lane are pushes (no register def).
+UseDef use_def(const VirtInstr& v, const SsrState& before);
+
+// ---- liveness ----
+
+struct LivenessProblem {
+  const std::vector<UseDef>& ud;  ///< per virtual instruction
+  using Value = RegSet;
+  static constexpr bool kForward = false;
+  Value boundary() const { return RegSet{}; }
+  Value init() const { return RegSet{}; }
+  bool join(Value& into, const Value& from) const {
+    const RegSet before = into;
+    into |= from;
+    return !(into == before);
+  }
+  /// in = use ∪ (out − def); on entry `v` holds the out-set.
+  void transfer(u32 vi, const VirtInstr&, Value& v) const {
+    RegSet t = v.minus(ud[vi].def);
+    t |= ud[vi].use;
+    v = t;
+  }
+};
+
+/// Liveness in/out bitsets per ORIGINAL program index — the union over all
+/// virtual (stagger-rotated) copies of that instruction. This is the stable
+/// export contract for the future liveness-driven scheduler: live_out[pc]
+/// is the set of registers whose values instruction pc must preserve.
+struct LivenessExport {
+  std::vector<RegSet> live_in;
+  std::vector<RegSet> live_out;
+};
+
+/// Run the full dataflow stage on one core's CFG: SSR stream state, SSR
+/// misuse diagnostics, liveness (returned), dead stores, reaching
+/// definitions and use-before-def. `prog_size` is the original program
+/// size (for the export indexing).
+LivenessExport analyze_dataflow(const Cfg& cfg, u32 prog_size,
+                                std::vector<Diagnostic>& diags);
+
+}  // namespace saris

@@ -1,0 +1,203 @@
+#include "analysis/verifier.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "analysis/cfg.hpp"
+#include "common/sim_error.hpp"
+#include "isa/disasm.hpp"
+
+namespace saris {
+
+// ---- diagnostic rendering (declared in analysis/diagnostic.hpp) ----
+
+const char* diag_kind_name(DiagKind k) {
+  switch (k) {
+    case DiagKind::kBadBranchTarget: return "bad-branch-target";
+    case DiagKind::kFallOffEnd: return "fall-off-end";
+    case DiagKind::kBadFrepBody: return "bad-frep-body";
+    case DiagKind::kFrepOverControlFlow: return "frep-over-control-flow";
+    case DiagKind::kBadStagger: return "bad-stagger";
+    case DiagKind::kUseBeforeDef: return "use-before-def";
+    case DiagKind::kDeadStore: return "dead-store";
+    case DiagKind::kUnconfiguredSsrRead: return "unconfigured-ssr-read";
+    case DiagKind::kOutOfArenaAccess: return "out-of-arena-access";
+    case DiagKind::kOutOfTcdmAccess: return "out-of-tcdm-access";
+    case DiagKind::kUnboundedValue: return "unbounded-value";
+    case DiagKind::kBadScfgwi: return "bad-scfgwi";
+    case DiagKind::kStepBudgetExceeded: return "step-budget-exceeded";
+    case DiagKind::kNoHalt: return "no-halt";
+  }
+  return "?";
+}
+
+std::string diag_to_string(const Diagnostic& d) {
+  std::ostringstream os;
+  os << "core " << d.core << " pc " << d.pc << ": "
+     << (d.severity == DiagSeverity::kError ? "error" : "warning") << " ["
+     << diag_kind_name(d.kind) << "] " << d.message;
+  return os.str();
+}
+
+// ---- report helpers ----
+
+u32 VerifyReport::num_errors() const {
+  u32 n = 0;
+  for (const Diagnostic& d : diags) n += d.severity == DiagSeverity::kError;
+  return n;
+}
+
+u32 VerifyReport::num_warnings() const {
+  u32 n = 0;
+  for (const Diagnostic& d : diags) n += d.severity == DiagSeverity::kWarning;
+  return n;
+}
+
+// ---- conflict prediction ----
+
+BankConflictPrediction predict_bank_conflicts(const AbsintResult& r,
+                                              bool with_dma) {
+  std::vector<const PortPrediction*> ports;
+  for (const CorePrediction& c : r.cores) {
+    for (const PortPrediction& p : c.ports) {
+      if (p.accesses > 0) ports.push_back(&p);
+    }
+  }
+  if (with_dma && r.dma.accesses > 0) ports.push_back(&r.dma);
+
+  BankConflictPrediction out;
+  out.exact = r.all_complete;
+  if (ports.empty()) {
+    out.provably_conflict_free = true;
+    out.exact = out.exact || r.cores.empty();
+    return out;
+  }
+  const u32 n_banks = static_cast<u32>(ports.front()->per_bank.size());
+
+  u64 max_port = 0;
+  std::vector<u64> bank_total(n_banks, 0);
+  std::vector<u32> bank_requesters(n_banks, 0);
+  for (const PortPrediction* p : ports) {
+    out.accesses += p->accesses;
+    max_port = std::max(max_port, p->accesses);
+    for (u32 b = 0; b < n_banks; ++b) {
+      bank_total[b] += p->per_bank[b];
+      bank_requesters[b] += p->per_bank[b] > 0;
+    }
+  }
+  const u64 max_bank =
+      *std::max_element(bank_total.begin(), bank_total.end());
+
+  // A bank with a single requester never loses arbitration: the port posts
+  // at most one request per cycle and a lone pending request is granted.
+  out.provably_conflict_free =
+      *std::max_element(bank_requesters.begin(), bank_requesters.end()) <= 1;
+
+  // Occupancy floor: the busiest port needs one cycle per request, the
+  // busiest bank one grant per request.
+  out.t_est = static_cast<double>(std::max<u64>(std::max(max_port, max_bank),
+                                                1));
+  if (!out.provably_conflict_free) {
+    double conflicts = 0;
+    for (u32 b = 0; b < n_banks; ++b) {
+      if (bank_requesters[b] <= 1) continue;
+      double p_idle = 1.0;
+      for (const PortPrediction* p : ports) {
+        const double rate =
+            std::min(1.0, static_cast<double>(p->per_bank[b]) / out.t_est);
+        p_idle *= 1.0 - rate;
+      }
+      const double granted = out.t_est * (1.0 - p_idle);
+      conflicts +=
+          std::max(0.0, static_cast<double>(bank_total[b]) - granted);
+    }
+    out.predicted_conflicts = conflicts;
+  }
+  if (out.accesses > 0) {
+    out.predicted_fraction =
+        out.predicted_conflicts / static_cast<double>(out.accesses);
+  }
+  return out;
+}
+
+// ---- verification entries ----
+
+namespace {
+
+void run_front_stages(const std::vector<Program>& progs, VerifyReport& rep) {
+  for (u32 c = 0; c < progs.size(); ++c) {
+    std::optional<Cfg> cfg = Cfg::build(progs[c], c, rep.diags);
+    if (cfg.has_value()) {
+      rep.liveness.push_back(
+          analyze_dataflow(*cfg, progs[c].size(), rep.diags));
+    } else {
+      rep.liveness.push_back(LivenessExport{});
+    }
+  }
+}
+
+}  // namespace
+
+VerifyReport verify_kernel(const CompiledKernel& ck) {
+  VerifyReport rep;
+  run_front_stages(ck.programs, rep);
+  rep.absint = abstract_interpret(ck, /*include_overlap_dma=*/true,
+                                  rep.diags);
+  rep.conflict = predict_bank_conflicts(rep.absint, /*with_dma=*/false);
+  rep.conflict_with_dma = predict_bank_conflicts(rep.absint,
+                                                 /*with_dma=*/true);
+  return rep;
+}
+
+VerifyReport verify_programs(const std::vector<Program>& progs) {
+  VerifyReport rep;
+  run_front_stages(progs, rep);
+  return rep;
+}
+
+std::string render_report(const VerifyReport& rep,
+                          const std::vector<Program>& progs, u32 max_diags) {
+  std::ostringstream os;
+  os << "static verifier: " << rep.num_errors() << " error(s), "
+     << rep.num_warnings() << " warning(s)\n";
+  // Errors first, then warnings, up to the cap.
+  std::vector<const Diagnostic*> order;
+  for (const Diagnostic& d : rep.diags) {
+    if (d.severity == DiagSeverity::kError) order.push_back(&d);
+  }
+  for (const Diagnostic& d : rep.diags) {
+    if (d.severity == DiagSeverity::kWarning) order.push_back(&d);
+  }
+  u32 shown = 0;
+  for (const Diagnostic* d : order) {
+    if (shown++ == max_diags) {
+      os << "  ... " << order.size() - max_diags << " more\n";
+      break;
+    }
+    os << diag_to_string(*d) << "\n";
+    if (d->core < progs.size() && d->pc < progs[d->core].size()) {
+      os << disasm_window(progs[d->core], d->pc, 2);
+    }
+  }
+  return os.str();
+}
+
+void raise_if_bad(const VerifyReport& rep,
+                  const std::vector<Program>& progs) {
+  if (rep.ok()) return;
+  SARIS_RAISE(SimErrc::kIllegalProgram, 0,
+              "kernel rejected by the static verifier\n"
+                  << render_report(rep, progs));
+}
+
+bool resolve_verify(const CodegenOptions& cg) {
+  if (cg.verify >= 0) return cg.verify != 0;
+  if (const char* env = std::getenv("SARIS_VERIFY")) {
+    const std::string s(env);
+    if (s == "0" || s == "off" || s == "false") return false;
+  }
+  return true;
+}
+
+}  // namespace saris

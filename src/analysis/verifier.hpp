@@ -1,0 +1,92 @@
+// Static kernel verifier: the post-lowering pass over a CompiledKernel.
+//
+// Three stages, each feeding the next:
+//   1. CFG construction (analysis/cfg.hpp) — structural legality: branch
+//      targets, fall-off-the-end, FREP body/stagger rules.
+//   2. Dataflow (analysis/dataflow.hpp) — SSR stream-state, use-before-def,
+//      dead stores, and the per-pc liveness export the scheduler consumes.
+//   3. Abstract interpretation (analysis/absint.hpp) — every memory access
+//      and SSR stream bounded against the layout's TCDM arenas, plus exact
+//      per-port access counts that drive the bank-conflict predictor.
+//
+// verify_kernel runs all three; verify_programs runs stages 1-2 only (no
+// layout needed) and is the entry the negative tests use on hand-built
+// broken programs. compile_kernel runs verify_kernel when enabled
+// (CodegenOptions::verify / SARIS_VERIFY, default on), caches the report in
+// the artifact, and raises SimErrc::kIllegalProgram on errors with a
+// disassembly window around the first finding.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/absint.hpp"
+#include "analysis/dataflow.hpp"
+#include "analysis/diagnostic.hpp"
+#include "runtime/compiled_kernel.hpp"
+
+namespace saris {
+
+/// Expected-value bank-conflict model over the statically predicted per-port
+/// per-bank access histograms. With T the estimated occupancy (cycles), port
+/// p's arrival rate at bank b is n_pb / T; the expected grant cycles at bank
+/// b are T * (1 - prod_p (1 - rate_pb)), and every request beyond a grant
+/// cycle retries, i.e. conflicts:
+///
+///   conflicts ~= sum_b [ sum_p n_pb - T * (1 - prod_p (1 - n_pb / T)) ]
+///
+/// The model is exact at the boundary the acceptance criteria care about:
+/// when no bank is touched by more than one requester, conflicts are
+/// provably zero (a lone port is always granted).
+struct BankConflictPrediction {
+  u64 accesses = 0;               ///< total requests considered
+  double t_est = 0;               ///< occupancy estimate (cycles)
+  double predicted_conflicts = 0;
+  double predicted_fraction = 0;  ///< predicted_conflicts / accesses
+  bool provably_conflict_free = false;
+  /// True when every core's static walk completed (the per-port access
+  /// counts are exact, not lower bounds).
+  bool exact = false;
+};
+
+struct VerifyReport {
+  std::vector<Diagnostic> diags;
+  /// Per-core liveness export (empty RegSets for cores whose CFG could not
+  /// be built). This is the scheduler input contract — see ROADMAP.
+  std::vector<LivenessExport> liveness;
+  AbsintResult absint;
+  BankConflictPrediction conflict;           ///< core-port traffic only
+  BankConflictPrediction conflict_with_dma;  ///< plus overlap-DMA aggregate
+
+  bool ok() const { return !has_errors(diags); }
+  u32 num_errors() const;
+  u32 num_warnings() const;
+};
+
+/// Full verification of a compile artifact (all three stages).
+VerifyReport verify_kernel(const CompiledKernel& ck);
+
+/// Structural + dataflow stages only, over bare per-core programs (no
+/// layout, no address bounding). Unit-test entry for hand-built programs.
+VerifyReport verify_programs(const std::vector<Program>& progs);
+
+/// Conflict prediction alone, from an existing absint result.
+BankConflictPrediction predict_bank_conflicts(const AbsintResult& r,
+                                              bool with_dma);
+
+/// Render up to `max_diags` findings, each with a disassembly window around
+/// its (core, pc) anchor.
+std::string render_report(const VerifyReport& rep,
+                          const std::vector<Program>& progs,
+                          u32 max_diags = 8);
+
+/// Throw SimError(SimErrc::kIllegalProgram) when the report holds errors;
+/// the detail carries the rendered findings.
+void raise_if_bad(const VerifyReport& rep, const std::vector<Program>& progs);
+
+/// Effective on/off for the compile-time verify pass: CodegenOptions::verify
+/// when set (0/1), else the SARIS_VERIFY environment variable ("0", "off",
+/// "false" disable), else on.
+bool resolve_verify(const CodegenOptions& cg);
+
+}  // namespace saris

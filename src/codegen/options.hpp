@@ -15,6 +15,11 @@ struct CodegenOptions {
   i32 stream_coeffs = -1;  ///< saris: -1 auto, 0 never, 1 force
   u32 pair_pipeline = 2;   ///< pair-adds kept in flight (AxisPairs codes)
   u32 base_staging = 4;    ///< baseline: load staging registers per instance
+  /// Static kernel verifier at compile time: -1 = env default (SARIS_VERIFY,
+  /// on unless set to 0/off/false), 0 = off, 1 = on. Part of the plan-cache
+  /// key so a cached artifact always carries the verdict it was compiled
+  /// with.
+  i8 verify = -1;
 
   /// Canonical equality/hash over every tunable. The plan cache keys
   /// compiled kernels on this, so any new field added above MUST take part
@@ -34,6 +39,7 @@ struct CodegenOptions {
     mix(static_cast<u64>(static_cast<i64>(stream_coeffs)));
     mix(pair_pipeline);
     mix(base_staging);
+    mix(static_cast<u64>(static_cast<i64>(verify)));
     return h;
   }
 };

@@ -34,4 +34,15 @@ CoreWork core_work(const StencilCode& sc, u32 core) {
   return w;
 }
 
+u32 owning_core(const StencilCode& sc, u32 x, u32 y, u32 z) {
+  const u32 r = sc.radius;
+  const u32 ix = x - r;
+  const u32 iy = y - r;
+  if (sc.dims == 2) {
+    return (iy % kInterleaveY) * kInterleaveX + ix % kInterleaveX;
+  }
+  const u32 iz = z - r;
+  return (iz % 2) * 4 + (iy % 2) * 2 + ix % 2;
+}
+
 }  // namespace saris

@@ -60,6 +60,11 @@ struct CoreWork {
 
 CoreWork core_work(const StencilCode& sc, u32 core);
 
+/// Inverse of the partition: the core that computes interior element
+/// (x, y, z) (absolute tile coordinates, halo included). Used to attribute
+/// a verification miss to the core whose program produced the element.
+u32 owning_core(const StencilCode& sc, u32 x, u32 y, u32 z);
+
 /// Interleave strides for a code (identical across cores).
 inline u32 interleave_x(const StencilCode& sc) {
   return sc.dims == 2 ? kInterleaveX : 2;

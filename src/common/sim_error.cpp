@@ -15,6 +15,7 @@ const char* sim_errc_name(SimErrc c) {
     case SimErrc::kBadConfig: return "bad-config";
     case SimErrc::kInjectedFault: return "injected-fault";
     case SimErrc::kClusterStall: return "cluster-stall";
+    case SimErrc::kIllegalProgram: return "illegal-program";
   }
   return "?";
 }
@@ -29,6 +30,7 @@ bool sim_errc_retryable(SimErrc c) {
     case SimErrc::kNone:
     case SimErrc::kMaxCyclesExceeded:
     case SimErrc::kBadConfig:
+    case SimErrc::kIllegalProgram:
       return false;
   }
   return false;

@@ -44,6 +44,10 @@ enum class SimErrc : u8 {
   kInjectedFault,
   /// A cluster wedged (injected hard-stall detected). Retryable.
   kClusterStall,
+  /// The static kernel verifier rejected the generated program (bad control
+  /// flow, use-before-def, unbounded or out-of-arena memory access, SSR
+  /// misuse). Deterministic codegen property — not retryable.
+  kIllegalProgram,
 };
 
 const char* sim_errc_name(SimErrc c);

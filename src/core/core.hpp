@@ -71,6 +71,9 @@ class Core {
   void set_event_driven(bool on) { event_driven_ = on; }
 
   u32 id() const { return id_; }
+  /// Current program counter (diagnostics: verification-miss reports print
+  /// a disassembly window around the failing core's final pc).
+  u32 pc() const { return pc_; }
   CorePerf& perf() { return perf_; }
   const CorePerf& perf() const { return perf_; }
   SsrUnit& ssr() { return ssr_; }

@@ -1,5 +1,6 @@
 #include "isa/disasm.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace saris {
@@ -92,6 +93,18 @@ std::string disasm(const Program& p) {
   std::ostringstream os;
   for (u32 i = 0; i < p.size(); ++i) {
     os << i << ":\t" << disasm(p.at(i)) << "\n";
+  }
+  return os.str();
+}
+
+std::string disasm_window(const Program& p, u32 center, u32 radius) {
+  if (p.empty()) return {};
+  const u32 begin = center > radius ? center - radius : 0;
+  const u32 end = std::min(p.size(), center + radius + 1);
+  std::ostringstream os;
+  for (u32 i = begin; i < end; ++i) {
+    os << (i == center ? "  -> " : "     ") << i << ":\t" << disasm(p.at(i))
+       << "\n";
   }
   return os.str();
 }

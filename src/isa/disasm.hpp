@@ -11,4 +11,9 @@ namespace saris {
 std::string disasm(const Instr& in);
 std::string disasm(const Program& p);
 
+/// Listing of the instructions within `radius` of `center` (clamped to the
+/// program), one per line, with a "->" marker on the center pc. Used by
+/// verification-miss and static-verifier diagnostics.
+std::string disasm_window(const Program& p, u32 center, u32 radius);
+
 }  // namespace saris

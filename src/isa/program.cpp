@@ -15,6 +15,12 @@ u32 Program::label(const std::string& name) const {
   return it->second;
 }
 
+Program Program::from_instrs(std::vector<Instr> instrs) {
+  Program p;
+  p.instrs_ = std::move(instrs);
+  return p;
+}
+
 Program::Mix Program::mix() const { return mix(0, size()); }
 
 Program::Mix Program::mix(u32 begin, u32 end) const {

@@ -32,6 +32,12 @@ class Program {
   /// Mix restricted to the half-open index range [begin, end).
   Mix mix(u32 begin, u32 end) const;
 
+  /// Wrap a raw instruction list with no label resolution and none of the
+  /// builder's validity checks. This is how the static verifier's negative
+  /// tests construct deliberately malformed programs — ProgramBuilder
+  /// rejects most of them at build() time.
+  static Program from_instrs(std::vector<Instr> instrs);
+
  private:
   friend class ProgramBuilder;
   std::vector<Instr> instrs_;

@@ -1,5 +1,6 @@
 #include "runtime/compiled_kernel.hpp"
 
+#include "analysis/verifier.hpp"
 #include "codegen/base_codegen.hpp"
 #include "codegen/saris_codegen.hpp"
 
@@ -73,6 +74,15 @@ CompiledKernel compile_kernel(const StencilCode& sc, KernelVariant variant,
     }
   }
   ck.overlap_jobs = make_overlap_jobs(sc, ck.layout);
+
+  // Post-lowering verify pass: reject illegal programs before any cluster
+  // ever executes them. The report rides with the artifact (and thus the
+  // plan cache) so warm-cache executions keep the verdict.
+  if (resolve_verify(cg)) {
+    auto report = std::make_shared<VerifyReport>(verify_kernel(ck));
+    raise_if_bad(*report, ck.programs);
+    ck.verify_report = std::move(report);
+  }
   return ck;
 }
 

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <array>
+#include <memory>
 #include <vector>
 
 #include "codegen/layout.hpp"
@@ -20,6 +21,8 @@
 #include "stencil/stencil_def.hpp"
 
 namespace saris {
+
+struct VerifyReport;
 
 enum class KernelVariant { kBase, kSaris };
 
@@ -42,6 +45,10 @@ struct CompiledKernel {
   /// One steady-state round of double-buffer DMA traffic (next tile in,
   /// previous result out), with main-memory addresses relative to base 0.
   std::vector<DmaJob> overlap_jobs;
+  /// Verdict of the static verifier (analysis/verifier.hpp), when the
+  /// verify pass ran at compile time. Shared because cached artifacts are
+  /// copied out of the PlanCache; null when verification was disabled.
+  std::shared_ptr<const VerifyReport> verify_report;
 };
 
 /// Pure lowering: run codegen and layout for one cell, with no cluster and

@@ -4,10 +4,12 @@
 #include <memory>
 #include <utility>
 
+#include "codegen/regalloc.hpp"
 #include "common/log.hpp"
 #include "common/run_context.hpp"
 #include "common/sim_error.hpp"
 #include "fault/fault_plan.hpp"
+#include "isa/disasm.hpp"
 #include "runtime/plan_cache.hpp"
 #include "stencil/grid.hpp"
 #include "stencil/reference.hpp"
@@ -161,11 +163,25 @@ RunMetrics finish_kernel(const CompiledKernel& ck, Cluster& cluster,
                                            cluster.cluster_id()))
               ? SimErrc::kInjectedFault
               : SimErrc::kVerifyFailed;
+      // Pin the miss to an element, the core that computed it, and that
+      // core's final pc, and show the disassembly around it — enough to read
+      // the failing inner loop straight off the error message.
+      std::ostringstream ctx;
+      const VerifyMiss miss = first_miss(sc, out_sim, *golden, cfg.tolerance);
+      if (miss.found) {
+        const u32 core_id = owning_core(sc, miss.x, miss.y, miss.z);
+        const Core& core = cluster.core(core_id);
+        ctx << "; first miss at (" << miss.x << ", " << miss.y << ", "
+            << miss.z << "): got " << miss.got << ", want " << miss.want
+            << " (rel err " << miss.rel_err << "), computed by core "
+            << core_id << ", final pc " << core.pc() << "\n"
+            << disasm_window(core.program(), core.pc(), 3);
+      }
       SARIS_RAISE(errc, window,
                   sc.name << "/" << variant_name(ck.variant)
                           << ": verification failed, max rel err "
                           << m.max_rel_err << " > tolerance " << cfg.tolerance
-                          << " (seed " << cfg.seed << ")");
+                          << " (seed " << cfg.seed << ")" << ctx.str());
     }
   }
   io.outputs.clear();

@@ -99,6 +99,35 @@ double max_rel_error(const StencilCode& sc, const Grid<>& a, const Grid<>& b) {
   return worst;
 }
 
+VerifyMiss first_miss(const StencilCode& sc, const Grid<>& got,
+                      const Grid<>& want, double tolerance) {
+  u32 r = sc.radius;
+  u32 zlo = (sc.dims == 3) ? r : 0;
+  u32 zhi = (sc.dims == 3) ? sc.tile_nz - r : 1;
+  VerifyMiss m;
+  for (u32 z = zlo; z < zhi; ++z) {
+    for (u32 y = r; y < sc.tile_ny - r; ++y) {
+      for (u32 x = r; x < sc.tile_nx - r; ++x) {
+        double va = got.at(x, y, z);
+        double vb = want.at(x, y, z);
+        double denom = std::max({std::fabs(va), std::fabs(vb), 1e-30});
+        double rel = std::fabs(va - vb) / denom;
+        if (rel > tolerance) {
+          m.found = true;
+          m.x = x;
+          m.y = y;
+          m.z = z;
+          m.got = va;
+          m.want = vb;
+          m.rel_err = rel;
+          return m;
+        }
+      }
+    }
+  }
+  return m;
+}
+
 namespace {
 
 struct ReferenceMemo {

@@ -24,6 +24,20 @@ double reference_point(const StencilCode& sc,
 /// Max relative error over the interior between two grids.
 double max_rel_error(const StencilCode& sc, const Grid<>& a, const Grid<>& b);
 
+/// First interior element (in max_rel_error's z -> y -> x scan order) whose
+/// relative error exceeds `tolerance`. Drives the verification-miss
+/// diagnostics: the element pins down the owning core and thus the program
+/// to disassemble.
+struct VerifyMiss {
+  bool found = false;
+  u32 x = 0, y = 0, z = 0;
+  double got = 0.0;
+  double want = 0.0;
+  double rel_err = 0.0;
+};
+VerifyMiss first_miss(const StencilCode& sc, const Grid<>& got,
+                      const Grid<>& want, double tolerance);
+
 /// Golden reference for the seeded-random `run_kernel` input path (input
 /// grid i filled with fill_random(seed + i), default coefficients),
 /// memoized process-wide per (code content, seed): a sweep that runs the
