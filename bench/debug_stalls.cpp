@@ -1,49 +1,94 @@
 // Developer diagnostic (not a paper figure): per-cause stall breakdown.
+//
+// Modes:
+//   debug_stalls [CODE] [VARIANT]   one cell, per-core detail + activity strip
+//   debug_stalls --all              full 10-code x 2-variant stall matrix
+//   either mode: --json PATH        machine-readable dump of the cells run
 #include <cstdio>
 #include <cstring>
+#include <string>
+#include <vector>
 
+#include "report/table.hpp"
 #include "runtime/kernel_runner.hpp"
 #include "runtime/trace.hpp"
 #include "stencil/codes.hpp"
 
-int main(int argc, char** argv) {
-  using namespace saris;
-  const char* name = argc > 1 ? argv[1] : "box2d1r";
-  KernelVariant var = (argc > 2 && std::strcmp(argv[2], "base") == 0)
-                          ? KernelVariant::kBase
-                          : KernelVariant::kSaris;
+namespace {
+
+using namespace saris;
+
+struct CellStalls {
+  std::string code;
+  const char* variant = "";
+  RunMetrics m;
+  CorePerf sum;  ///< all counters summed across cores
+};
+
+CorePerf sum_cores(const RunMetrics& m) {
+  CorePerf s;
+  for (const CorePerf& p : m.per_core) {
+    s.int_instrs += p.int_instrs;
+    s.fp_instrs += p.fp_instrs;
+    s.fp_offloads += p.fp_offloads;
+    s.fpu_useful_ops += p.fpu_useful_ops;
+    s.flops += p.flops;
+    s.fp_loads += p.fp_loads;
+    s.fp_stores += p.fp_stores;
+    s.stall_icache += p.stall_icache;
+    s.stall_fpu_queue_full += p.stall_fpu_queue_full;
+    s.stall_seq_busy += p.stall_seq_busy;
+    s.stall_scfg_busy += p.stall_scfg_busy;
+    s.stall_branch += p.stall_branch;
+    s.stall_barrier += p.stall_barrier;
+    s.stall_int_lsu += p.stall_int_lsu;
+    s.stall_halt_drain += p.stall_halt_drain;
+    s.fpu_stall_operand += p.fpu_stall_operand;
+    s.fpu_stall_sr_empty += p.fpu_stall_sr_empty;
+    s.fpu_stall_sr_full += p.fpu_stall_sr_full;
+    s.fpu_stall_mem += p.fpu_stall_mem;
+    s.fpu_idle_empty += p.fpu_idle_empty;
+  }
+  return s;
+}
+
+CellStalls run_cell(const StencilCode& sc, KernelVariant v, bool timeline) {
+  CellStalls r;
+  r.code = sc.name;
+  r.variant = variant_name(v);
   RunConfig cfg;
-  cfg.variant = var;
-  cfg.record_timeline = true;
-  const StencilCode& sc = code_by_name(name);
-  RunMetrics m = run_kernel(sc, cfg);
-  std::printf("%s/%s: cycles=%llu util=%.3f ipc=%.3f\n", sc.name.c_str(),
-              variant_name(var), (unsigned long long)m.cycles, m.fpu_util(),
-              m.ipc());
-  const CorePerf& p = m.per_core[0];
-  std::printf("core0: int=%llu fp=%llu useful=%llu loads=%llu stores=%llu\n",
-              (unsigned long long)p.int_instrs, (unsigned long long)p.fp_instrs,
-              (unsigned long long)p.fpu_useful_ops,
-              (unsigned long long)p.fp_loads, (unsigned long long)p.fp_stores);
-  std::printf(
-      "int stalls: icache=%llu fpuq=%llu seq=%llu scfg=%llu branch=%llu "
-      "barrier=%llu ilsu=%llu drain=%llu\n",
-      (unsigned long long)p.stall_icache,
-      (unsigned long long)p.stall_fpu_queue_full,
-      (unsigned long long)p.stall_seq_busy,
-      (unsigned long long)p.stall_scfg_busy,
-      (unsigned long long)p.stall_branch,
-      (unsigned long long)p.stall_barrier,
-      (unsigned long long)p.stall_int_lsu,
-      (unsigned long long)p.stall_halt_drain);
-  std::printf(
-      "fpu stalls: operand=%llu sr_empty=%llu sr_full=%llu mem=%llu "
-      "idle=%llu\n",
-      (unsigned long long)p.fpu_stall_operand,
-      (unsigned long long)p.fpu_stall_sr_empty,
-      (unsigned long long)p.fpu_stall_sr_full,
-      (unsigned long long)p.fpu_stall_mem,
-      (unsigned long long)p.fpu_idle_empty);
+  cfg.variant = v;
+  cfg.record_timeline = timeline;
+  r.m = run_kernel(sc, cfg);
+  r.sum = sum_cores(r.m);
+  return r;
+}
+
+void print_detail(const CellStalls& r) {
+  const RunMetrics& m = r.m;
+  std::printf("%s/%s: cycles=%llu util=%.3f ipc=%.3f\n", r.code.c_str(),
+              r.variant, (unsigned long long)m.cycles, m.fpu_util(), m.ipc());
+  TextTable t({"core", "int", "fp", "useful", "icache", "fpuq", "seq",
+               "scfg", "branch", "barrier", "ilsu", "operand", "sr e/f",
+               "mem", "idle"});
+  for (u32 c = 0; c < m.per_core.size(); ++c) {
+    const CorePerf& p = m.per_core[c];
+    t.add_row({std::to_string(c), std::to_string(p.int_instrs),
+               std::to_string(p.fp_instrs), std::to_string(p.fpu_useful_ops),
+               std::to_string(p.stall_icache),
+               std::to_string(p.stall_fpu_queue_full),
+               std::to_string(p.stall_seq_busy),
+               std::to_string(p.stall_scfg_busy),
+               std::to_string(p.stall_branch),
+               std::to_string(p.stall_barrier),
+               std::to_string(p.stall_int_lsu),
+               std::to_string(p.fpu_stall_operand),
+               std::to_string(p.fpu_stall_sr_empty) + "/" +
+                   std::to_string(p.fpu_stall_sr_full),
+               std::to_string(p.fpu_stall_mem),
+               std::to_string(p.fpu_idle_empty)});
+  }
+  std::printf("%s\n", t.str().c_str());
   std::printf("tcdm: accesses=%llu conflicts=%llu  ssr elems=%llu idx=%llu\n",
               (unsigned long long)m.tcdm_accesses,
               (unsigned long long)m.tcdm_conflicts,
@@ -51,5 +96,120 @@ int main(int argc, char** argv) {
               (unsigned long long)m.ssr_idx_words);
   std::printf("fpu activity (cores busy, 0-8, over time):\n  [%s]\n",
               ascii_activity_strip(m.fpu_timeline, 72).c_str());
+}
+
+void print_matrix(const std::vector<CellStalls>& cells) {
+  TextTable t({"code", "variant", "cycles", "util", "ipc", "icache", "fpuq",
+               "seq+scfg", "branch", "barrier", "ilsu", "operand", "sr e/f",
+               "mem", "idle", "conf"});
+  for (const CellStalls& r : cells) {
+    const CorePerf& s = r.sum;
+    t.add_row({r.code, r.variant, std::to_string(r.m.cycles),
+               TextTable::fmt(r.m.fpu_util(), 3),
+               TextTable::fmt(r.m.ipc(), 3), std::to_string(s.stall_icache),
+               std::to_string(s.stall_fpu_queue_full),
+               std::to_string(s.stall_seq_busy + s.stall_scfg_busy),
+               std::to_string(s.stall_branch),
+               std::to_string(s.stall_barrier),
+               std::to_string(s.stall_int_lsu),
+               std::to_string(s.fpu_stall_operand),
+               std::to_string(s.fpu_stall_sr_empty) + "/" +
+                   std::to_string(s.fpu_stall_sr_full),
+               std::to_string(s.fpu_stall_mem),
+               std::to_string(s.fpu_idle_empty),
+               std::to_string(r.m.tcdm_conflicts)});
+  }
+  std::printf("stall cycles summed across cores:\n%s\n", t.str().c_str());
+}
+
+void write_json(const char* path, const std::vector<CellStalls>& cells) {
+  FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"debug_stalls\",\n  \"cells\": [\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellStalls& r = cells[i];
+    const CorePerf& s = r.sum;
+    std::fprintf(
+        f,
+        "    {\"code\": \"%s\", \"variant\": \"%s\", \"cycles\": %llu, "
+        "\"fpu_util\": %.6f, \"ipc\": %.6f, "
+        "\"stall_icache\": %llu, \"stall_fpu_queue_full\": %llu, "
+        "\"stall_seq_busy\": %llu, \"stall_scfg_busy\": %llu, "
+        "\"stall_branch\": %llu, \"stall_barrier\": %llu, "
+        "\"stall_int_lsu\": %llu, \"stall_halt_drain\": %llu, "
+        "\"fpu_stall_operand\": %llu, \"fpu_stall_sr_empty\": %llu, "
+        "\"fpu_stall_sr_full\": %llu, \"fpu_stall_mem\": %llu, "
+        "\"fpu_idle_empty\": %llu, "
+        "\"tcdm_accesses\": %llu, \"tcdm_conflicts\": %llu}%s\n",
+        r.code.c_str(), r.variant, (unsigned long long)r.m.cycles,
+        r.m.fpu_util(), r.m.ipc(), (unsigned long long)s.stall_icache,
+        (unsigned long long)s.stall_fpu_queue_full,
+        (unsigned long long)s.stall_seq_busy,
+        (unsigned long long)s.stall_scfg_busy,
+        (unsigned long long)s.stall_branch,
+        (unsigned long long)s.stall_barrier,
+        (unsigned long long)s.stall_int_lsu,
+        (unsigned long long)s.stall_halt_drain,
+        (unsigned long long)s.fpu_stall_operand,
+        (unsigned long long)s.fpu_stall_sr_empty,
+        (unsigned long long)s.fpu_stall_sr_full,
+        (unsigned long long)s.fpu_stall_mem,
+        (unsigned long long)s.fpu_idle_empty,
+        (unsigned long long)r.m.tcdm_accesses,
+        (unsigned long long)r.m.tcdm_conflicts,
+        i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool all = false;
+  const char* json_path = nullptr;
+  const char* name = nullptr;
+  const char* var_arg = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--all") == 0) {
+      all = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (!name) {
+      name = argv[i];
+    } else if (!var_arg) {
+      var_arg = argv[i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [CODE [base|saris]] [--all] [--json PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<CellStalls> cells;
+  if (all) {
+    for (const StencilCode& sc : all_codes()) {
+      for (KernelVariant v : {KernelVariant::kBase, KernelVariant::kSaris}) {
+        cells.push_back(run_cell(sc, v, /*timeline=*/false));
+      }
+    }
+    print_matrix(cells);
+  } else {
+    KernelVariant v = (var_arg && std::strcmp(var_arg, "base") == 0)
+                          ? KernelVariant::kBase
+                          : KernelVariant::kSaris;
+    cells.push_back(
+        run_cell(code_by_name(name ? name : "box2d1r"), v,
+                 /*timeline=*/true));
+    print_detail(cells.back());
+  }
+  if (json_path) {
+    write_json(json_path, cells);
+    std::printf("wrote %s\n", json_path);
+  }
   return 0;
 }

@@ -1,0 +1,250 @@
+// Static cost model accuracy over the full 10-code x 2-variant matrix:
+//   - predicted vs measured cluster cycles per cell, with the exact /
+//     banded classification the model claims for itself,
+//   - per-cause stall attribution (summed across cores), predicted vs
+//     measured, for the dominant causes,
+//   - performance-linter finding counts (advisory).
+// Measured numbers come from overlap_dma=false runs — the model contains
+// no DMA, and DMA influences cores only through bank conflicts that the
+// ideal-TCDM walk excludes by construction.
+//
+// Hard accuracy gate (CI): every walk must complete; exact cells must match
+// measured cycles and every per-cause counter bit-for-bit; banded cells must
+// be optimistic (pred <= meas) within the documented 10% band.
+// Emits BENCH_static_cost.json; exits nonzero on any gate violation.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/verifier.hpp"
+#include "report/table.hpp"
+#include "runtime/kernel_runner.hpp"
+#include "runtime/plan_cache.hpp"
+#include "stencil/codes.hpp"
+
+namespace {
+
+using namespace saris;
+
+constexpr u32 kCores = 8;
+constexpr double kCycleBand = 0.10;  ///< banded cells: 10% relative error
+
+/// The stall causes worth a table column: summed across cores, predicted
+/// and measured side by side.
+struct CauseSums {
+  u64 fpu_operand = 0;
+  u64 fpu_sr = 0;      ///< sr_empty + sr_full
+  u64 fpu_mem = 0;
+  u64 icache = 0;
+  u64 seq = 0;         ///< seq_busy + scfg_busy + fpu_queue_full
+  u64 barrier = 0;
+};
+
+struct CellResult {
+  std::string code;
+  const char* variant = "";
+  bool complete = false;
+  bool exact = false;
+  u64 pred_cycles = 0;
+  u64 meas_cycles = 0;
+  double rel_err = 0;      ///< (meas - pred) / meas
+  u32 mismatches = 0;      ///< exact cells: per-cause counter mismatches
+  u32 lint = 0;
+  CauseSums pred;
+  CauseSums meas;
+  bool gate_ok = false;
+};
+
+CauseSums sum_causes(const std::vector<CorePerf>& per_core) {
+  CauseSums s;
+  for (const CorePerf& p : per_core) {
+    s.fpu_operand += p.fpu_stall_operand;
+    s.fpu_sr += p.fpu_stall_sr_empty + p.fpu_stall_sr_full;
+    s.fpu_mem += p.fpu_stall_mem;
+    s.icache += p.stall_icache;
+    s.seq += p.stall_seq_busy + p.stall_scfg_busy + p.stall_fpu_queue_full;
+    s.barrier += p.stall_barrier;
+  }
+  return s;
+}
+
+u32 count_mismatches(const CorePerf& a, const CorePerf& b) {
+  u32 n = 0;
+  n += a.int_instrs != b.int_instrs;
+  n += a.fp_instrs != b.fp_instrs;
+  n += a.fp_offloads != b.fp_offloads;
+  n += a.fpu_useful_ops != b.fpu_useful_ops;
+  n += a.flops != b.flops;
+  n += a.fp_loads != b.fp_loads;
+  n += a.fp_stores != b.fp_stores;
+  n += a.stall_icache != b.stall_icache;
+  n += a.stall_fpu_queue_full != b.stall_fpu_queue_full;
+  n += a.stall_seq_busy != b.stall_seq_busy;
+  n += a.stall_scfg_busy != b.stall_scfg_busy;
+  n += a.stall_branch != b.stall_branch;
+  n += a.stall_barrier != b.stall_barrier;
+  n += a.stall_int_lsu != b.stall_int_lsu;
+  n += a.stall_halt_drain != b.stall_halt_drain;
+  n += a.fpu_stall_operand != b.fpu_stall_operand;
+  n += a.fpu_stall_sr_empty != b.fpu_stall_sr_empty;
+  n += a.fpu_stall_sr_full != b.fpu_stall_sr_full;
+  n += a.fpu_stall_mem != b.fpu_stall_mem;
+  n += a.fpu_idle_empty != b.fpu_idle_empty;
+  return n;
+}
+
+CellResult run_cell(const StencilCode& sc, KernelVariant v) {
+  CellResult r;
+  r.code = sc.name;
+  r.variant = variant_name(v);
+
+  RunConfig cfg;
+  cfg.variant = v;
+  cfg.cg.analyze_cost = 1;
+  cfg.overlap_dma = false;
+  RunMetrics m = run_kernel(sc, cfg);
+  auto ck = PlanCache::global().get_or_compile(sc, v, cfg.cg, kCores);
+
+  r.meas_cycles = m.cycles;
+  r.meas = sum_causes(m.per_core);
+  if (!ck->verify_report || !ck->verify_report->cost.has_value()) return r;
+  const CostReport& cost = *ck->verify_report->cost;
+
+  r.complete = cost.complete;
+  r.exact = cost.exact;
+  r.pred_cycles = cost.predicted_cycles;
+  r.lint = static_cast<u32>(cost.lint.size());
+  std::vector<CorePerf> pred_perf;
+  pred_perf.reserve(cost.cores.size());
+  for (const CoreCost& cc : cost.cores) pred_perf.push_back(cc.perf);
+  r.pred = sum_causes(pred_perf);
+  r.rel_err = m.cycles
+                  ? static_cast<double>(m.cycles) - static_cast<double>(
+                                                        cost.predicted_cycles)
+                  : 0.0;
+  r.rel_err = m.cycles ? r.rel_err / static_cast<double>(m.cycles) : 0.0;
+
+  if (r.exact) {
+    for (u32 c = 0; c < cost.cores.size() && c < m.per_core.size(); ++c) {
+      r.mismatches += count_mismatches(cost.cores[c].perf, m.per_core[c]);
+    }
+    r.gate_ok = r.complete && r.pred_cycles == r.meas_cycles &&
+                r.mismatches == 0;
+  } else {
+    r.gate_ok = r.complete && r.pred_cycles <= r.meas_cycles &&
+                r.rel_err <= kCycleBand;
+  }
+  return r;
+}
+
+void write_json(const char* path, const std::vector<CellResult>& cells) {
+  FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"static_cost\",\n  \"cells\": [\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& r = cells[i];
+    std::fprintf(
+        f,
+        "    {\"code\": \"%s\", \"variant\": \"%s\", "
+        "\"complete\": %s, \"exact\": %s, "
+        "\"pred_cycles\": %llu, \"meas_cycles\": %llu, "
+        "\"rel_err\": %.6f, \"counter_mismatches\": %u, \"lint\": %u, "
+        "\"pred_stalls\": {\"fpu_operand\": %llu, \"fpu_sr\": %llu, "
+        "\"fpu_mem\": %llu, \"icache\": %llu, \"seq\": %llu, "
+        "\"barrier\": %llu}, "
+        "\"meas_stalls\": {\"fpu_operand\": %llu, \"fpu_sr\": %llu, "
+        "\"fpu_mem\": %llu, \"icache\": %llu, \"seq\": %llu, "
+        "\"barrier\": %llu}, "
+        "\"gate_ok\": %s}%s\n",
+        r.code.c_str(), r.variant, r.complete ? "true" : "false",
+        r.exact ? "true" : "false",
+        static_cast<unsigned long long>(r.pred_cycles),
+        static_cast<unsigned long long>(r.meas_cycles), r.rel_err,
+        r.mismatches, r.lint,
+        static_cast<unsigned long long>(r.pred.fpu_operand),
+        static_cast<unsigned long long>(r.pred.fpu_sr),
+        static_cast<unsigned long long>(r.pred.fpu_mem),
+        static_cast<unsigned long long>(r.pred.icache),
+        static_cast<unsigned long long>(r.pred.seq),
+        static_cast<unsigned long long>(r.pred.barrier),
+        static_cast<unsigned long long>(r.meas.fpu_operand),
+        static_cast<unsigned long long>(r.meas.fpu_sr),
+        static_cast<unsigned long long>(r.meas.fpu_mem),
+        static_cast<unsigned long long>(r.meas.icache),
+        static_cast<unsigned long long>(r.meas.seq),
+        static_cast<unsigned long long>(r.meas.barrier),
+        r.gate_ok ? "true" : "false", i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = "BENCH_static_cost.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("== Static cost model: predicted vs measured cycles ==\n");
+  std::vector<CellResult> cells;
+  for (const StencilCode& sc : all_codes()) {
+    for (KernelVariant v : {KernelVariant::kBase, KernelVariant::kSaris}) {
+      cells.push_back(run_cell(sc, v));
+    }
+  }
+
+  TextTable t({"code", "variant", "class", "pred cyc", "meas cyc", "err %",
+               "mism", "lint", "gate"});
+  u32 failures = 0;
+  u32 n_exact = 0;
+  double worst_band = 0;
+  for (const CellResult& r : cells) {
+    t.add_row({r.code, r.variant,
+               r.exact ? "exact" : (r.complete ? "banded" : "incomplete"),
+               std::to_string(r.pred_cycles), std::to_string(r.meas_cycles),
+               TextTable::fmt(r.rel_err * 100.0, 2),
+               std::to_string(r.mismatches), std::to_string(r.lint),
+               r.gate_ok ? "ok" : "FAIL"});
+    failures += !r.gate_ok;
+    n_exact += r.exact;
+    if (!r.exact) worst_band = std::max(worst_band, r.rel_err);
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  TextTable s({"code", "variant", "fpu opnd p/m", "fpu sr p/m",
+               "fpu mem p/m", "icache p/m", "seq p/m", "barrier p/m"});
+  auto pm = [](u64 p, u64 m) {
+    return std::to_string(p) + "/" + std::to_string(m);
+  };
+  for (const CellResult& r : cells) {
+    s.add_row({r.code, r.variant, pm(r.pred.fpu_operand, r.meas.fpu_operand),
+               pm(r.pred.fpu_sr, r.meas.fpu_sr),
+               pm(r.pred.fpu_mem, r.meas.fpu_mem),
+               pm(r.pred.icache, r.meas.icache), pm(r.pred.seq, r.meas.seq),
+               pm(r.pred.barrier, r.meas.barrier)});
+  }
+  std::printf("stall attribution, predicted/measured (cycles, all cores):\n");
+  std::printf("%s\n", s.str().c_str());
+
+  std::printf("exact cells: %u/%zu; worst banded error: %.2f%% "
+              "(band %.0f%%)\n",
+              n_exact, cells.size(), worst_band * 100.0, kCycleBand * 100.0);
+  std::printf("%s\n", PlanCache::global().cell_summary().c_str());
+  std::printf("gate failures: %u (expect 0)\n", failures);
+
+  write_json(json_path, cells);
+  std::printf("wrote %s\n", json_path);
+  return failures == 0 ? 0 : 1;
+}

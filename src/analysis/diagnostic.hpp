@@ -36,6 +36,12 @@ enum class DiagKind : u8 {
                        ///< an indirect launch on the affine-only lane
   kStepBudgetExceeded, ///< static execution did not finish within budget
   kNoHalt,             ///< static execution ended without reaching halt
+  // ---- performance lint (advisory; emitted into CostReport::lint only,
+  //      never into VerifyReport::diags, so they cannot fail a compile) ----
+  kPerfFpuIssueGap,       ///< FPU issue gap from dependency-chain depth
+  kPerfRegisterPressure,  ///< max-live close to the register-file ceiling
+  kPerfSsrLaneIdle,       ///< SSR enabled but a lane never launched
+  kPerfBankHotspot,       ///< stream concentrates traffic on a shared bank
 };
 
 const char* diag_kind_name(DiagKind k);

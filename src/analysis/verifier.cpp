@@ -1,6 +1,7 @@
 #include "analysis/verifier.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstdlib>
 #include <sstream>
 
@@ -28,6 +29,10 @@ const char* diag_kind_name(DiagKind k) {
     case DiagKind::kBadScfgwi: return "bad-scfgwi";
     case DiagKind::kStepBudgetExceeded: return "step-budget-exceeded";
     case DiagKind::kNoHalt: return "no-halt";
+    case DiagKind::kPerfFpuIssueGap: return "perf-fpu-issue-gap";
+    case DiagKind::kPerfRegisterPressure: return "perf-register-pressure";
+    case DiagKind::kPerfSsrLaneIdle: return "perf-ssr-lane-idle";
+    case DiagKind::kPerfBankHotspot: return "perf-bank-hotspot";
   }
   return "?";
 }
@@ -125,6 +130,29 @@ BankConflictPrediction predict_bank_conflicts(const AbsintResult& r,
 
 namespace {
 
+RegPressure pressure_of(const LivenessExport& live) {
+  RegPressure p;
+  auto consider = [&p](const RegSet& s, u32 pc) {
+    const u32 nx = static_cast<u32>(std::popcount(s.x));
+    const u32 nf = static_cast<u32>(std::popcount(s.f));
+    if (nx > p.max_live_x) {
+      p.max_live_x = nx;
+      p.at_pc_x = pc;
+    }
+    if (nf > p.max_live_f) {
+      p.max_live_f = nf;
+      p.at_pc_f = pc;
+    }
+  };
+  for (u32 pc = 0; pc < live.live_in.size(); ++pc) {
+    consider(live.live_in[pc], pc);
+  }
+  for (u32 pc = 0; pc < live.live_out.size(); ++pc) {
+    consider(live.live_out[pc], pc);
+  }
+  return p;
+}
+
 void run_front_stages(const std::vector<Program>& progs, VerifyReport& rep) {
   for (u32 c = 0; c < progs.size(); ++c) {
     std::optional<Cfg> cfg = Cfg::build(progs[c], c, rep.diags);
@@ -134,6 +162,7 @@ void run_front_stages(const std::vector<Program>& progs, VerifyReport& rep) {
     } else {
       rep.liveness.push_back(LivenessExport{});
     }
+    rep.pressure.push_back(pressure_of(rep.liveness.back()));
   }
 }
 

@@ -17,10 +17,12 @@
 // disassembly window around the first finding.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "analysis/absint.hpp"
+#include "analysis/cost.hpp"
 #include "analysis/dataflow.hpp"
 #include "analysis/diagnostic.hpp"
 #include "runtime/compiled_kernel.hpp"
@@ -49,14 +51,30 @@ struct BankConflictPrediction {
   bool exact = false;
 };
 
+/// Per-core register pressure, derived from the liveness export: the peak
+/// number of simultaneously-live registers and the pc where it occurs.
+/// Allocator-sizing input for the planned liveness-driven scheduler
+/// (ROADMAP open item 2); printed in the plan-cache cell summaries.
+struct RegPressure {
+  u32 max_live_x = 0;
+  u32 max_live_f = 0;
+  u32 at_pc_x = 0;
+  u32 at_pc_f = 0;
+};
+
 struct VerifyReport {
   std::vector<Diagnostic> diags;
   /// Per-core liveness export (empty RegSets for cores whose CFG could not
   /// be built). This is the scheduler input contract — see ROADMAP.
   std::vector<LivenessExport> liveness;
+  /// Per-core max-live, one entry per core (zeros without a CFG).
+  std::vector<RegPressure> pressure;
   AbsintResult absint;
   BankConflictPrediction conflict;           ///< core-port traffic only
   BankConflictPrediction conflict_with_dma;  ///< plus overlap-DMA aggregate
+  /// Static cost model + lint results, present when the compile ran with
+  /// analyze_cost on (CodegenOptions::analyze_cost / SARIS_ANALYZE).
+  std::optional<CostReport> cost;
 
   bool ok() const { return !has_errors(diags); }
   u32 num_errors() const;

@@ -29,6 +29,7 @@ void Cluster::init(MemoryPort& mem_port) {
   }
   dma_ = std::make_unique<Dma>(tcdm_, mem_port);
   tcdm_.set_dense_arbitration(!cfg_.event_driven);
+  tcdm_.set_ideal_arbitration(cfg_.ideal_tcdm);
   dma_->set_dense_scan(!cfg_.event_driven);
   state_.assign(cfg_.num_cores, CoreState::kActive);
   last_ticked_.assign(cfg_.num_cores, 0);

@@ -33,6 +33,12 @@ struct ClusterConfig {
   /// and as the sim_throughput baseline). Results are identical in both
   /// modes.
   bool event_driven = true;
+  /// Conflict-free TCDM (Tcdm::set_ideal_arbitration): every pending
+  /// request granted each cycle. Validation mode for the static cost model
+  /// — its walk assumes exactly this memory, so a run here must match the
+  /// prediction bit-for-bit (tests/test_cost.cpp). Not a paper
+  /// configuration.
+  bool ideal_tcdm = false;
 };
 
 class Cluster {

@@ -20,6 +20,11 @@ struct CodegenOptions {
   /// key so a cached artifact always carries the verdict it was compiled
   /// with.
   i8 verify = -1;
+  /// Static cost model + performance linter at compile time: -1 = env
+  /// default (SARIS_ANALYZE, off unless set to 1/on/true), 0 = off,
+  /// 1 = on. Results land in VerifyReport::cost; lint findings are advisory
+  /// and never fail a compile.
+  i8 analyze_cost = -1;
 
   /// Canonical equality/hash over every tunable. The plan cache keys
   /// compiled kernels on this, so any new field added above MUST take part
@@ -40,6 +45,7 @@ struct CodegenOptions {
     mix(pair_pipeline);
     mix(base_staging);
     mix(static_cast<u64>(static_cast<i64>(verify)));
+    mix(static_cast<u64>(static_cast<i64>(analyze_cost)));
     return h;
   }
 };

@@ -126,7 +126,9 @@ void Core::int_step(Cycle now) {
     icache_paid_pc_ = static_cast<i64>(pc_);
     if (pen > 0) {
       stall_cycles_ = pen;
-      perf_.stall_icache += pen;
+      // The miss-detection cycle itself retires nothing, so account pen + 1
+      // cycles: this one plus the `pen` refill cycles burned below.
+      perf_.stall_icache += pen + 1;
       return;
     }
   }
@@ -149,6 +151,7 @@ void Core::int_step(Cycle now) {
       off.target = xregs_[in.rs1.idx] + static_cast<u32>(in.imm);
     }
     fpu_.enqueue(off);
+    ++perf_.fp_offloads;
     quiescent_ = false;
     if (seq_.capturing()) {
       SARIS_CHECK(op_class(in.op) == OpClass::kFpCompute,

@@ -6,17 +6,26 @@
 
 namespace saris {
 
+// The counters obey two conservation laws (enforced by tests/test_cost.cpp
+// and relied on by the static cost model, analysis/cost.hpp):
+//   integer side, over this core's busy window (halted_at - t0 + 1):
+//     busy == int_instrs + fp_offloads + every stall_* below + 1
+//   (the +1 is the cycle that executes halt, which retires no instruction);
+//   FPU side, over the cluster's compute window:
+//     window == fp_instrs + fpu_stall_* + fpu_idle_empty.
+// Every integer-step and FPU-tick outcome bumps exactly one counter.
 struct CorePerf {
   // Retirement / issue counts.
   u64 int_instrs = 0;      ///< instructions executed by the integer core
   u64 fp_instrs = 0;       ///< instructions issued by the FPU (incl. FREP replays)
+  u64 fp_offloads = 0;     ///< integer-pipe cycles spent offloading FP instrs
   u64 fpu_useful_ops = 0;  ///< FPU issues doing useful compute (flops > 0)
   u64 flops = 0;           ///< double-precision FLOPs performed
   u64 fp_loads = 0;
   u64 fp_stores = 0;
 
   // Integer-core stall cycles by cause.
-  u64 stall_icache = 0;
+  u64 stall_icache = 0;      ///< miss-detection cycle + fill latency
   u64 stall_fpu_queue_full = 0;
   u64 stall_seq_busy = 0;    ///< FP fetch blocked on active FREP sequencer
   u64 stall_scfg_busy = 0;   ///< scfgwi waiting for a busy SSR lane to drain

@@ -71,11 +71,35 @@ void Tcdm::grant(u32 winner, u32 bank) {
 }
 
 void Tcdm::arbitrate(Cycle /*now*/) {
+  if (ideal_) {
+    arbitrate_ideal();
+    return;
+  }
   if (dense_) {
     arbitrate_dense();
     return;
   }
   arbitrate_sparse();
+}
+
+void Tcdm::arbitrate_ideal() {
+  // Conflict-free validation mode: every pending request is granted this
+  // cycle, as if each requester had a private single-cycle memory. Grants
+  // happen in port order within a bank, so write/write and read/write
+  // outcomes match what the arbitrated modes would eventually produce.
+  // Round-robin pointers are left untouched — there are never losers.
+  for (u32 bank : active_banks_) {
+    for (u32 port : bank_pending_[bank]) {
+      Port& p = ports_[port];
+      p.rdata = do_access(p);
+      p.pending = false;
+      p.resp_ready = true;
+      ++p.accesses;
+      ++total_accesses_;
+    }
+    bank_pending_[bank].clear();
+  }
+  active_banks_.clear();
 }
 
 void Tcdm::arbitrate_sparse() {

@@ -48,6 +48,17 @@ class Tcdm {
   void set_dense_arbitration(bool on) { dense_ = on; }
   bool dense_arbitration() const { return dense_; }
 
+  /// Validation hook: grant *every* pending request each cycle instead of
+  /// one per bank — a conflict-free TCDM with unchanged single-cycle
+  /// response timing. This is exactly the memory the static cost model
+  /// (analysis/cost.hpp) walks against, so a run in this mode must match
+  /// its prediction bit-for-bit on every cell; tests/test_cost.cpp enforces
+  /// that. Functionally inert: grant order within a cycle is port order,
+  /// so values are identical to the arbitrated run. Takes precedence over
+  /// the dense hook.
+  void set_ideal_arbitration(bool on) { ideal_ = on; }
+  bool ideal_arbitration() const { return ideal_; }
+
   /// Response interface (valid from the cycle after the grant).
   bool response_ready(u32 port) const;
   u64 take_response(u32 port);
@@ -102,6 +113,7 @@ class Tcdm {
   void grant(u32 winner, u32 bank);
   void arbitrate_sparse();
   void arbitrate_dense();
+  void arbitrate_ideal();
   void rebuild_pending_lists();
 
   std::vector<u8> mem_;
@@ -115,6 +127,7 @@ class Tcdm {
   std::vector<std::vector<u32>> bank_pending_;
   std::vector<u32> active_banks_;  ///< banks with >= 1 pending request
   bool dense_ = false;
+  bool ideal_ = false;
 
   u64 total_accesses_ = 0;
   u64 total_conflicts_ = 0;

@@ -1,7 +1,10 @@
 #include "runtime/plan_cache.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+
+#include "analysis/verifier.hpp"
 
 namespace saris {
 
@@ -47,12 +50,27 @@ std::shared_ptr<const CompiledKernel> PlanCache::get_or_compile(
       prom.set_exception(std::current_exception());
       throw;
     }
+    u32 max_x = 0, max_f = 0;
+    const bool has_pressure =
+        ck->verify_report && !ck->verify_report->pressure.empty();
+    if (has_pressure) {
+      for (const RegPressure& p : ck->verify_report->pressure) {
+        max_x = std::max(max_x, p.max_live_x);
+        max_f = std::max(max_f, p.max_live_f);
+      }
+    }
     prom.set_value(std::move(ck));
     double dt = std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - t0)
                     .count();
     std::lock_guard<std::mutex> lk(mu_);
     stats_.compile_seconds += dt;
+    if (has_pressure) {
+      CellStats& cs = cells_[cell];
+      cs.max_live_x = std::max(cs.max_live_x, max_x);
+      cs.max_live_f = std::max(cs.max_live_f, max_f);
+      cs.has_pressure = true;
+    }
   }
   return fut.get();
 }
@@ -82,12 +100,21 @@ std::map<std::string, PlanCache::CellStats> PlanCache::cell_stats() const {
 std::string PlanCache::cell_summary() const {
   std::string out;
   for (const auto& [cell, s] : cell_stats()) {
-    char buf[128];
-    std::snprintf(buf, sizeof(buf), "  %s: %llu compile%s, %llu hit%s\n",
-                  cell.c_str(), static_cast<unsigned long long>(s.misses),
-                  s.misses == 1 ? "" : "s",
-                  static_cast<unsigned long long>(s.hits),
-                  s.hits == 1 ? "" : "s");
+    char buf[160];
+    if (s.has_pressure) {
+      std::snprintf(buf, sizeof(buf),
+                    "  %s: %llu compile%s, %llu hit%s, max-live x%u f%u\n",
+                    cell.c_str(), static_cast<unsigned long long>(s.misses),
+                    s.misses == 1 ? "" : "s",
+                    static_cast<unsigned long long>(s.hits),
+                    s.hits == 1 ? "" : "s", s.max_live_x, s.max_live_f);
+    } else {
+      std::snprintf(buf, sizeof(buf), "  %s: %llu compile%s, %llu hit%s\n",
+                    cell.c_str(), static_cast<unsigned long long>(s.misses),
+                    s.misses == 1 ? "" : "s",
+                    static_cast<unsigned long long>(s.hits),
+                    s.hits == 1 ? "" : "s");
+    }
     out += buf;
   }
   return out;

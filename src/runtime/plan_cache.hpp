@@ -48,6 +48,12 @@ class PlanCache {
   struct CellStats {
     u64 hits = 0;
     u64 misses = 0;
+    /// Peak register pressure across cores (VerifyReport::pressure),
+    /// recorded when a compile carries a verify report. Allocator-sizing
+    /// signal, printed in cell_summary.
+    u32 max_live_x = 0;
+    u32 max_live_f = 0;
+    bool has_pressure = false;
   };
   std::map<std::string, CellStats> cell_stats() const;
 
